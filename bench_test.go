@@ -1,0 +1,194 @@
+// Benchmarks regenerating the paper's tables and figures at reduced sizes;
+// run cmd/experiments for the full sweeps. Each benchmark reports the
+// figure's headline quantity as a custom metric so `go test -bench` output
+// doubles as a results table.
+package sof
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sof/internal/baseline"
+	"sof/internal/core"
+	"sof/internal/costmodel"
+	"sof/internal/emu"
+	"sof/internal/exp"
+	"sof/internal/online"
+	"sof/internal/sofexact"
+	"sof/internal/topology"
+)
+
+// BenchmarkFig7CostFunction samples the Fortz–Thorup pricing curve.
+func BenchmarkFig7CostFunction(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for u := 0.0; u <= 1.2; u += 0.01 {
+			sink += costmodel.Cost(u, 1)
+		}
+	}
+	b.ReportMetric(costmodel.Cost(1.0, 1), "cost@100%")
+	_ = sink
+}
+
+// benchSweepPoint embeds one paper-default request with every algorithm
+// and reports the average costs as metrics.
+func benchSweepPoint(b *testing.B, kind exp.NetKind, withOpt bool) {
+	b.Helper()
+	sums := map[string]float64{}
+	runs := 0
+	for i := 0; i < b.N; i++ {
+		seed := int64(i)
+		var net *topology.Network
+		var err error
+		switch kind {
+		case exp.NetSoftLayer:
+			net = topology.SoftLayer(topology.Config{NumVMs: exp.DefaultVMs, Seed: seed})
+		case exp.NetCogent:
+			net = topology.Cogent(topology.Config{NumVMs: exp.DefaultVMs, Seed: seed})
+		default:
+			net, err = topology.Inet(1000, 2000, 100, topology.Config{NumVMs: exp.DefaultVMs, Seed: seed})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		rng := rand.New(rand.NewSource(seed))
+		req := core.Request{
+			Sources:  net.RandomNodes(rng, exp.DefaultSources),
+			Dests:    net.RandomNodes(rng, exp.DefaultDests),
+			ChainLen: exp.DefaultChain,
+		}
+		opts := &core.Options{VMs: net.VMs}
+		f, err := core.SOFDA(net.G, req, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sums["SOFDA"] += f.TotalCost()
+		if f, err = baseline.ENEMP(net.G, req, opts); err == nil {
+			sums["eNEMP"] += f.TotalCost()
+		}
+		if f, err = baseline.EST(net.G, req, opts); err == nil {
+			sums["eST"] += f.TotalCost()
+		}
+		if f, err = baseline.ST(net.G, req, opts); err == nil {
+			sums["ST"] += f.TotalCost()
+		}
+		if withOpt {
+			// Small branch budget: report the optimum only where it is
+			// proven quickly (see internal/exp).
+			if f, err := sofexact.Solve(net.G, req, &sofexact.Options{VMs: net.VMs, MaxBranchNodes: 400}); err == nil {
+				sums["OPT"] += f.TotalCost()
+			}
+		}
+		runs++
+	}
+	for name, s := range sums {
+		b.ReportMetric(s/float64(runs), name+"-cost")
+	}
+}
+
+// BenchmarkFig8SoftLayer reproduces Fig. 8's default point on SoftLayer,
+// including the exact optimum (the paper's CPLEX line).
+func BenchmarkFig8SoftLayer(b *testing.B) { benchSweepPoint(b, exp.NetSoftLayer, true) }
+
+// BenchmarkFig9Cogent reproduces Fig. 9's default point on Cogent.
+func BenchmarkFig9Cogent(b *testing.B) { benchSweepPoint(b, exp.NetCogent, false) }
+
+// BenchmarkFig10Inet reproduces Fig. 10's default point on a 1000-node
+// Inet-style graph (5000 nodes in cmd/experiments).
+func BenchmarkFig10Inet(b *testing.B) { benchSweepPoint(b, exp.NetInet, false) }
+
+// BenchmarkFig11SetupCost reproduces Fig. 11 at multipliers 1x and 9x.
+func BenchmarkFig11SetupCost(b *testing.B) {
+	for _, mult := range []float64{1, 9} {
+		b.Run(fmt.Sprintf("mult%.0fx", mult), func(b *testing.B) {
+			var cost, vms float64
+			runs := 0
+			for i := 0; i < b.N; i++ {
+				net := topology.SoftLayer(topology.Config{
+					NumVMs: exp.DefaultVMs, Seed: int64(i), SetupCostMultiplier: mult,
+				})
+				rng := rand.New(rand.NewSource(int64(i)))
+				req := core.Request{
+					Sources:  net.RandomNodes(rng, exp.DefaultSources),
+					Dests:    net.RandomNodes(rng, exp.DefaultDests),
+					ChainLen: exp.DefaultChain,
+				}
+				f, err := core.SOFDA(net.G, req, &core.Options{VMs: net.VMs})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cost += f.TotalCost()
+				vms += float64(len(f.UsedVMs()))
+				runs++
+			}
+			b.ReportMetric(cost/float64(runs), "cost")
+			b.ReportMetric(vms/float64(runs), "used-vms")
+		})
+	}
+}
+
+// BenchmarkTable1Runtime measures SOFDA's wall time on Inet graphs
+// (|V|=1000 here; the full 1000–5000 sweep lives in cmd/experiments).
+func BenchmarkTable1Runtime(b *testing.B) {
+	for _, srcs := range []int{2, 14, 26} {
+		b.Run(fmt.Sprintf("V1000_S%d", srcs), func(b *testing.B) {
+			net, err := topology.Inet(1000, 2000, 200, topology.Config{NumVMs: exp.DefaultVMs, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(srcs)))
+			req := core.Request{
+				Sources:  net.RandomNodes(rng, srcs),
+				Dests:    net.RandomNodes(rng, exp.DefaultDests),
+				ChainLen: exp.DefaultChain,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SOFDA(net.G, req, &core.Options{VMs: net.VMs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig12Online reproduces the accumulative-cost experiment over a
+// short arrival prefix on SoftLayer.
+func BenchmarkFig12Online(b *testing.B) {
+	for _, algo := range []online.Algorithm{online.AlgoSOFDA, online.AlgoST} {
+		b.Run(string(algo), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				net := topology.SoftLayer(topology.Config{NumVMs: 85, Seed: 1})
+				cfg := online.DefaultSoftLayerConfig()
+				cfg.Seed = 42
+				sim := online.NewSimulator(net, algo, cfg)
+				sim.Run(10)
+				acc += sim.Accumulated()
+			}
+			b.ReportMetric(acc/float64(b.N), "accumulated-cost")
+		})
+	}
+}
+
+// BenchmarkTable2QoE reproduces the video QoE experiment on both profiles.
+func BenchmarkTable2QoE(b *testing.B) {
+	for _, algo := range []online.Algorithm{online.AlgoSOFDA, online.AlgoENEMP, online.AlgoEST} {
+		b.Run(string(algo), func(b *testing.B) {
+			var startup, rebuf float64
+			runs := 0
+			for i := 0; i < b.N; i++ {
+				q, err := emu.EvaluateAveraged(algo, emu.Testbed, 5)
+				if err != nil {
+					b.Fatal(err)
+				}
+				startup += q.AvgStartupSec
+				rebuf += q.AvgRebufferSec
+				runs++
+			}
+			b.ReportMetric(startup/float64(runs), "startup-sec")
+			b.ReportMetric(rebuf/float64(runs), "rebuffer-sec")
+		})
+	}
+}

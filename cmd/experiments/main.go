@@ -1,0 +1,130 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section VIII) on the reconstructed topologies and prints the
+// series as text tables.
+//
+// Usage:
+//
+//	experiments -fig 8            # Fig. 8 (SoftLayer, with exact optimum)
+//	experiments -fig 12 -steps 30 # online accumulative cost
+//	experiments -table 1          # SOFDA runtime
+//	experiments -all -quick       # everything, reduced sizes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"sof/internal/exp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		fig   = flag.Int("fig", 0, "figure to regenerate (7–12), 0 = none")
+		table = flag.Int("table", 0, "table to regenerate (1 or 2), 0 = none")
+		all   = flag.Bool("all", false, "regenerate everything")
+		quick = flag.Bool("quick", false, "reduced sizes/runs for a fast pass")
+		runs  = flag.Int("runs", 3, "random requests averaged per data point")
+		steps = flag.Int("steps", 30, "arrivals for Fig. 12")
+	)
+	flag.Parse()
+
+	r := *runs
+	inet := 5000
+	t1Sizes := []int{1000, 2000, 3000, 4000, 5000}
+	if *quick {
+		r = 1
+		inet = 600
+		t1Sizes = []int{300, 600}
+	}
+	ran := false
+	run := func(n int, f func() error) {
+		if *all || *fig == n || (*table == n-100 && n > 100) {
+			ran = true
+			if err := f(); err != nil {
+				log.Fatalf("figure/table %d: %v", n, err)
+			}
+		}
+	}
+
+	run(7, func() error {
+		fmt.Println(exp.Fig7().Format())
+		return nil
+	})
+	run(8, func() error {
+		for _, p := range []exp.SweepParam{exp.ParamSources, exp.ParamDests, exp.ParamVMs, exp.ParamChain} {
+			s, err := exp.CostSweep(exp.NetSoftLayer, p, r, true, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 8:", s.Format())
+		}
+		return nil
+	})
+	run(9, func() error {
+		for _, p := range []exp.SweepParam{exp.ParamSources, exp.ParamDests, exp.ParamVMs, exp.ParamChain} {
+			s, err := exp.CostSweep(exp.NetCogent, p, r, false, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 9:", s.Format())
+		}
+		return nil
+	})
+	run(10, func() error {
+		for _, p := range []exp.SweepParam{exp.ParamSources, exp.ParamDests, exp.ParamVMs, exp.ParamChain} {
+			s, err := exp.CostSweep(exp.NetInet, p, r, false, inet)
+			if err != nil {
+				return err
+			}
+			fmt.Println("Fig 10:", s.Format())
+		}
+		return nil
+	})
+	run(11, func() error {
+		costS, vmS, err := exp.Fig11(r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(costS.Format())
+		fmt.Println(vmS.Format())
+		return nil
+	})
+	run(12, func() error {
+		for _, kind := range []exp.NetKind{exp.NetSoftLayer, exp.NetCogent} {
+			n := *steps
+			if kind == exp.NetCogent && !*quick {
+				n = 45
+			}
+			s, err := exp.Fig12(kind, n)
+			if err != nil {
+				return err
+			}
+			fmt.Println(s.Format())
+		}
+		return nil
+	})
+	run(101, func() error {
+		rows, err := exp.Table1(t1Sizes, exp.SweepSources)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatTable1(rows))
+		return nil
+	})
+	run(102, func() error {
+		rows, err := exp.Table2(10 * r)
+		if err != nil {
+			return err
+		}
+		fmt.Println(exp.FormatTable2(rows))
+		return nil
+	})
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,84 @@
+// Command sofcli embeds a single request on one of the built-in topologies
+// and prints the resulting forest, comparing algorithms side by side.
+//
+// Usage:
+//
+//	sofcli -net softlayer -sources 8 -dests 6 -chain 3 -vms 25 -seed 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"sof/internal/baseline"
+	"sof/internal/core"
+	"sof/internal/exp"
+	"sof/internal/sofexact"
+	"sof/internal/topology"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sofcli: ")
+	var (
+		netKind = flag.String("net", "softlayer", "topology: softlayer|cogent|inet")
+		sources = flag.Int("sources", exp.DefaultSources, "candidate sources")
+		dests   = flag.Int("dests", exp.DefaultDests, "destinations")
+		chain   = flag.Int("chain", exp.DefaultChain, "VNF chain length")
+		vms     = flag.Int("vms", exp.DefaultVMs, "available VMs")
+		seed    = flag.Int64("seed", 1, "random seed")
+		exact   = flag.Bool("exact", false, "also run the exact solver (small instances)")
+	)
+	flag.Parse()
+
+	cfg := topology.Config{NumVMs: *vms, Seed: *seed}
+	var net *topology.Network
+	var err error
+	switch *netKind {
+	case "softlayer":
+		net = topology.SoftLayer(cfg)
+	case "cogent":
+		net = topology.Cogent(cfg)
+	case "inet":
+		net, err = topology.Inet(1000, 2000, 200, cfg)
+	default:
+		log.Fatalf("unknown network %q", *netKind)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(*seed))
+	req := core.Request{
+		Sources:  net.RandomNodes(rng, *sources),
+		Dests:    net.RandomNodes(rng, *dests),
+		ChainLen: *chain,
+	}
+	opts := &core.Options{VMs: net.VMs}
+	fmt.Printf("network=%s nodes=%d links=%d vms=%d | request: %d sources, %d dests, |C|=%d\n\n",
+		*netKind, net.G.NumNodes(), net.G.NumEdges(), len(net.VMs),
+		len(req.Sources), len(req.Dests), req.ChainLen)
+	fmt.Printf("%-8s %10s %10s %10s %7s %7s\n", "algo", "total", "setup", "conn", "trees", "vms")
+	report := func(name string, f *core.Forest, err error) {
+		if err != nil {
+			fmt.Printf("%-8s failed: %v\n", name, err)
+			return
+		}
+		st := f.Stats()
+		fmt.Printf("%-8s %10.2f %10.2f %10.2f %7d %7d\n",
+			name, st.TotalCost, st.SetupCost, st.ConnCost, st.Trees, st.UsedVMs)
+	}
+	f, err := core.SOFDA(net.G, req, opts)
+	report("SOFDA", f, err)
+	f, err = baseline.ENEMP(net.G, req, opts)
+	report("eNEMP", f, err)
+	f, err = baseline.EST(net.G, req, opts)
+	report("eST", f, err)
+	f, err = baseline.ST(net.G, req, opts)
+	report("ST", f, err)
+	if *exact {
+		f, err = sofexact.Solve(net.G, req, &sofexact.Options{VMs: net.VMs})
+		report("OPT", f, err)
+	}
+}

@@ -1,0 +1,73 @@
+// Dynamic scenario: viewers join and leave a running service forest and
+// the VNF chain itself is reconfigured (Section VII-C). The forest is
+// re-validated after every operation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sof"
+)
+
+func main() {
+	b := sof.NewNetworkBuilder()
+	src := b.AddSwitch("src")
+	var vms []sof.NodeID
+	prev := src
+	for i := 0; i < 4; i++ {
+		v := b.AddVM(fmt.Sprintf("vm%d", i), float64(1+i))
+		b.Link(prev, v, 1)
+		vms = append(vms, v)
+		prev = v
+	}
+	hub := b.AddSwitch("hub")
+	b.Link(prev, hub, 1)
+	var viewers []sof.NodeID
+	for i := 0; i < 4; i++ {
+		w := b.AddSwitch(fmt.Sprintf("viewer%d", i))
+		b.Link(hub, w, 1)
+		viewers = append(viewers, w)
+	}
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	forest, err := net.Embed(sof.Request{
+		Sources:      []sof.NodeID{src},
+		Destinations: viewers[:2],
+		ChainLength:  2,
+	}, sof.AlgorithmSOFDA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	check := func(what string) {
+		if err := forest.Validate(); err != nil {
+			log.Fatalf("after %s: %v", what, err)
+		}
+		fmt.Printf("%-22s cost=%6.1f dests=%d vms=%v\n",
+			what, forest.TotalCost(), len(forest.Destinations()), forest.UsedVMs())
+	}
+	check("initial embedding")
+
+	if _, err := forest.Join(viewers[2]); err != nil {
+		log.Fatal(err)
+	}
+	check("viewer2 joins")
+
+	if _, err := forest.Leave(viewers[0]); err != nil {
+		log.Fatal(err)
+	}
+	check("viewer0 leaves")
+
+	if err := forest.InsertVNF(2); err != nil {
+		log.Fatal(err)
+	}
+	check("VNF inserted at f2")
+
+	if err := forest.RemoveVNF(1); err != nil {
+		log.Fatal(err)
+	}
+	check("VNF f1 removed")
+}

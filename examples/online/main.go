@@ -1,0 +1,36 @@
+// Online scenario: requests arrive one at a time on the Cogent backbone,
+// each priced by the current Fortz–Thorup congestion costs (Section
+// VIII-C / Fig. 12). Prints the accumulated cost of SOFDA vs the single-
+// tree baseline over the same arrival sequence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sof/internal/online"
+	"sof/internal/topology"
+)
+
+func main() {
+	const arrivals = 15
+	for _, algo := range []online.Algorithm{online.AlgoSOFDA, online.AlgoST} {
+		net := topology.Cogent(topology.Config{NumVMs: 200, Seed: 3})
+		cfg := online.DefaultCogentConfig()
+		cfg.Seed = 99 // same request stream for both algorithms
+		sim := online.NewSimulator(net, algo, cfg)
+		results := sim.Run(arrivals)
+		last := results[len(results)-1]
+		rejected := 0
+		for _, r := range results {
+			if r.Rejected {
+				rejected++
+			}
+		}
+		if rejected == arrivals {
+			log.Fatalf("%s: every request rejected", algo)
+		}
+		fmt.Printf("%-6s after %2d arrivals: accumulated cost %10.1f (rejected %d)\n",
+			algo, arrivals, last.Accumulated, rejected)
+	}
+}

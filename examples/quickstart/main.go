@@ -1,0 +1,56 @@
+// Quickstart: build a tiny network, embed a 2-VNF multicast service with
+// SOFDA, let a third viewer join dynamically, and print the forest.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sof"
+)
+
+func main() {
+	b := sof.NewNetworkBuilder()
+	src := b.AddSwitch("headend")
+	transcoder := b.AddVM("transcoder", 2)
+	watermark := b.AddVM("watermark", 3)
+	edge := b.AddSwitch("edge")
+	viewerA := b.AddSwitch("viewer-a")
+	viewerB := b.AddSwitch("viewer-b")
+	viewerC := b.AddSwitch("viewer-c")
+	b.Link(src, transcoder, 1)
+	b.Link(transcoder, watermark, 1)
+	b.Link(watermark, edge, 1)
+	b.Link(edge, viewerA, 1)
+	b.Link(edge, viewerB, 1)
+	b.Link(edge, viewerC, 2)
+	net, err := b.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	forest, err := net.Embed(sof.Request{
+		Sources:      []sof.NodeID{src},
+		Destinations: []sof.NodeID{viewerA, viewerB},
+		ChainLength:  2,
+	}, sof.AlgorithmSOFDA)
+	if err != nil {
+		log.Fatal(err)
+	}
+	setup, conn := forest.Cost()
+	fmt.Printf("embedded service forest: total=%.1f (setup=%.1f, connection=%.1f)\n",
+		forest.TotalCost(), setup, conn)
+	fmt.Printf("trees=%d, VNFs on VMs %v, serving %v\n",
+		forest.Trees(), forest.UsedVMs(), forest.Destinations())
+
+	delta, err := forest.Join(viewerC)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("viewer-c joined for +%.1f; now serving %d destinations at total %.1f\n",
+		delta, len(forest.Destinations()), forest.TotalCost())
+	if err := forest.Validate(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("forest remains feasible")
+}

@@ -1,0 +1,413 @@
+// Package chain constructs service chains: walks through the network that
+// visit a prescribed number of distinct VMs so that the VNFs f1…f|C| can be
+// installed in order (Procedures 1 and 2 of the paper).
+//
+// The central object is the Oracle, which caches shortest-path trees over
+// the underlying network and converts (source, last VM, chain length)
+// queries into k-stroll instances on the auxiliary complete graph 𝒢 of
+// Procedure 1. Solved strolls are materialized back into walks on the real
+// network with VNF placements (Procedure 2).
+package chain
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"sof/internal/graph"
+	"sof/internal/kstroll"
+)
+
+// ServiceChain is a materialized walk in the network that realizes a VNF
+// chain: VMs[i] hosts the i-th VNF, and the walk Nodes/Edges connects
+// Source → VMs[0] → … → VMs[len-1] (= LastVM) through shortest paths.
+// The walk may traverse a node several times ("clones" in the paper).
+type ServiceChain struct {
+	Source graph.NodeID
+	LastVM graph.NodeID
+	// VMs[i] hosts VNF f_{i+1}; len(VMs) is the chain length.
+	VMs []graph.NodeID
+	// VMPos[i] is the index into Nodes of the walk position at which
+	// VMs[i] performs its VNF (a VM may also appear elsewhere on the walk
+	// as pure pass-through).
+	VMPos []int
+	// Nodes is the full walk Source…LastVM (repetitions allowed).
+	Nodes []graph.NodeID
+	// Edges[i] joins Nodes[i] and Nodes[i+1]; len(Edges) = len(Nodes)-1.
+	Edges []graph.EdgeID
+	// SetupCost is the total setup cost of VMs (plus the source when the
+	// oracle includes source setup costs).
+	SetupCost float64
+	// ConnCost is the total connection cost along the walk, counting a
+	// link once per traversal.
+	ConnCost float64
+}
+
+// TotalCost is SetupCost + ConnCost.
+func (c *ServiceChain) TotalCost() float64 { return c.SetupCost + c.ConnCost }
+
+// VNFAt returns the 1-based VNF index hosted at VM v, or 0 if v hosts none.
+func (c *ServiceChain) VNFAt(v graph.NodeID) int {
+	for i, m := range c.VMs {
+		if m == v {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Clone returns a deep copy of the chain.
+func (c *ServiceChain) Clone() *ServiceChain {
+	return &ServiceChain{
+		Source:    c.Source,
+		LastVM:    c.LastVM,
+		VMs:       append([]graph.NodeID(nil), c.VMs...),
+		VMPos:     append([]int(nil), c.VMPos...),
+		Nodes:     append([]graph.NodeID(nil), c.Nodes...),
+		Edges:     append([]graph.EdgeID(nil), c.Edges...),
+		SetupCost: c.SetupCost,
+		ConnCost:  c.ConnCost,
+	}
+}
+
+// Validate checks the structural invariants of the chain against g: walk
+// continuity, VM placement order along the walk, distinct VMs, and cost
+// accounting. chainLen is the expected number of VNFs.
+func (c *ServiceChain) Validate(g *graph.Graph, chainLen int) error {
+	if len(c.VMs) != chainLen {
+		return fmt.Errorf("chain: %d VMs, want %d", len(c.VMs), chainLen)
+	}
+	if len(c.Nodes) == 0 || c.Nodes[0] != c.Source {
+		return fmt.Errorf("chain: walk does not start at source %d", c.Source)
+	}
+	if len(c.Edges) != len(c.Nodes)-1 {
+		return fmt.Errorf("chain: %d edges for %d nodes", len(c.Edges), len(c.Nodes))
+	}
+	var conn float64
+	for i, id := range c.Edges {
+		e := g.Edge(id)
+		if !(e.U == c.Nodes[i] && e.V == c.Nodes[i+1]) && !(e.V == c.Nodes[i] && e.U == c.Nodes[i+1]) {
+			return fmt.Errorf("chain: edge %d does not join walk nodes %d,%d", id, c.Nodes[i], c.Nodes[i+1])
+		}
+		conn += e.Cost
+	}
+	if math.Abs(conn-c.ConnCost) > 1e-6 {
+		return fmt.Errorf("chain: recorded conn cost %v != edge sum %v", c.ConnCost, conn)
+	}
+	if len(c.VMPos) != len(c.VMs) {
+		return fmt.Errorf("chain: %d VM positions for %d VMs", len(c.VMPos), len(c.VMs))
+	}
+	seen := make(map[graph.NodeID]bool, len(c.VMs))
+	prev := -1
+	for i, vm := range c.VMs {
+		if seen[vm] {
+			return fmt.Errorf("chain: VM %d repeated", vm)
+		}
+		seen[vm] = true
+		if !g.IsVM(vm) {
+			return fmt.Errorf("chain: node %d is not a VM", vm)
+		}
+		pos := c.VMPos[i]
+		if pos <= prev || pos >= len(c.Nodes) {
+			return fmt.Errorf("chain: VM %d position %d out of order", vm, pos)
+		}
+		if c.Nodes[pos] != vm {
+			return fmt.Errorf("chain: walk node at position %d is %d, want VM %d", pos, c.Nodes[pos], vm)
+		}
+		prev = pos
+	}
+	if chainLen > 0 && c.VMs[chainLen-1] != c.LastVM {
+		return fmt.Errorf("chain: last VM %d != recorded %d", c.VMs[chainLen-1], c.LastVM)
+	}
+	return nil
+}
+
+// Options configure an Oracle.
+type Options struct {
+	// Solver is the k-stroll solver (kstroll.Auto() when nil).
+	Solver kstroll.Solver
+	// SourceSetupCost includes the source's own setup cost in chains
+	// (Appendix D). The source must then be a costed node.
+	SourceSetupCost bool
+}
+
+// Oracle answers service-chain queries over one network. It caches Dijkstra
+// trees per origin node; the cache is safe for concurrent use.
+type Oracle struct {
+	g      *graph.Graph
+	solver kstroll.Solver
+	opts   Options
+
+	mu    sync.Mutex
+	trees map[graph.NodeID]*graph.ShortestPaths
+}
+
+// NewOracle returns an oracle over g.
+func NewOracle(g *graph.Graph, opts Options) *Oracle {
+	solver := opts.Solver
+	if solver == nil {
+		solver = kstroll.Auto()
+	}
+	return &Oracle{
+		g:      g,
+		solver: solver,
+		opts:   opts,
+		trees:  make(map[graph.NodeID]*graph.ShortestPaths),
+	}
+}
+
+// Graph returns the underlying network.
+func (o *Oracle) Graph() *graph.Graph { return o.g }
+
+func (o *Oracle) tree(n graph.NodeID) *graph.ShortestPaths {
+	o.mu.Lock()
+	sp, ok := o.trees[n]
+	o.mu.Unlock()
+	if ok {
+		return sp
+	}
+	sp = graph.Dijkstra(o.g, n)
+	o.mu.Lock()
+	o.trees[n] = sp
+	o.mu.Unlock()
+	return sp
+}
+
+// InvalidateCache drops all cached shortest-path trees. Call after edge
+// costs change (online/load-aware scenarios).
+func (o *Oracle) InvalidateCache() {
+	o.mu.Lock()
+	o.trees = make(map[graph.NodeID]*graph.ShortestPaths)
+	o.mu.Unlock()
+}
+
+// Chain finds a low-cost service chain from source s to last VM u visiting
+// chainLen distinct VMs drawn from vms (Procedures 1 and 2). u must be in
+// vms; s must not be (a source does not host VNFs on its own chain).
+func (o *Oracle) Chain(vms []graph.NodeID, s, u graph.NodeID, chainLen int) (*ServiceChain, error) {
+	if chainLen < 1 {
+		return nil, fmt.Errorf("chain: chain length %d < 1", chainLen)
+	}
+	cand := make([]graph.NodeID, 0, len(vms))
+	uIdx := -1
+	for _, v := range vms {
+		if v == s {
+			continue
+		}
+		if v == u {
+			uIdx = len(cand)
+		}
+		cand = append(cand, v)
+	}
+	if uIdx < 0 {
+		return nil, fmt.Errorf("chain: last VM %d not among candidates", u)
+	}
+	if chainLen > len(cand) {
+		return nil, fmt.Errorf("chain: length %d exceeds %d available VMs: %w",
+			chainLen, len(cand), kstroll.ErrInfeasible)
+	}
+
+	in, err := o.buildInstance(cand, s, uIdx, chainLen)
+	if err != nil {
+		return nil, err
+	}
+	w, err := o.solver.Solve(in)
+	if err != nil {
+		return nil, fmt.Errorf("chain: k-stroll %s→%s: %w", o.g.Node(s).Name, o.g.Node(u).Name, err)
+	}
+	return o.materialize(cand, s, w)
+}
+
+// buildInstance constructs the auxiliary complete graph 𝒢 of Procedure 1.
+// Instance node 0 is s; node i+1 is cand[i]. End is the last VM's index.
+func (o *Oracle) buildInstance(cand []graph.NodeID, s graph.NodeID, uIdx, chainLen int) (*kstroll.Instance, error) {
+	n := len(cand) + 1
+	lastCost := o.g.NodeCost(cand[uIdx])
+	srcCost := 0.0
+	if o.opts.SourceSetupCost {
+		srcCost = o.g.NodeCost(s)
+	}
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	spS := o.tree(s)
+	for i, vi := range cand {
+		d := spS.Dist[vi]
+		if math.IsInf(d, 1) {
+			return nil, fmt.Errorf("chain: VM %d unreachable from source %d: %w", vi, s, graph.ErrDisconnected)
+		}
+		// Procedure 1: the last VM's setup cost is shared onto the edges
+		// incident to s; Appendix D adds the source's own setup cost.
+		var share float64
+		if i == uIdx {
+			share = lastCost + srcCost
+		} else {
+			share = (lastCost + srcCost + o.g.NodeCost(vi)) / 2
+		}
+		cost[0][i+1] = d + share
+		cost[i+1][0] = cost[0][i+1]
+	}
+	for i, vi := range cand {
+		spI := o.tree(vi)
+		for j := i + 1; j < len(cand); j++ {
+			vj := cand[j]
+			d := spI.Dist[vj]
+			if math.IsInf(d, 1) {
+				return nil, fmt.Errorf("chain: VMs %d and %d disconnected: %w", vi, vj, graph.ErrDisconnected)
+			}
+			c := d + (o.g.NodeCost(vi)+o.g.NodeCost(vj))/2
+			cost[i+1][j+1] = c
+			cost[j+1][i+1] = c
+		}
+	}
+	return &kstroll.Instance{
+		N:     n,
+		Cost:  cost,
+		Start: 0,
+		End:   uIdx + 1,
+		K:     chainLen + 1,
+	}, nil
+}
+
+// materialize converts a solved stroll on 𝒢 into a walk on the real network
+// (Procedure 2): consecutive stroll nodes are joined by shortest paths, and
+// VNF f_{j} is installed on the j-th stroll node after the source.
+func (o *Oracle) materialize(cand []graph.NodeID, s graph.NodeID, w *kstroll.Walk) (*ServiceChain, error) {
+	toNode := func(idx int) graph.NodeID {
+		if idx == 0 {
+			return s
+		}
+		return cand[idx-1]
+	}
+	sc := &ServiceChain{Source: s}
+	sc.Nodes = append(sc.Nodes, s)
+	for i := 1; i < len(w.Seq); i++ {
+		a, b := toNode(w.Seq[i-1]), toNode(w.Seq[i])
+		sp := o.tree(a)
+		pathNodes := sp.PathTo(b)
+		pathEdges := sp.EdgesTo(b)
+		if pathNodes == nil {
+			return nil, fmt.Errorf("chain: no path %d→%d: %w", a, b, graph.ErrDisconnected)
+		}
+		sc.Nodes = append(sc.Nodes, pathNodes[1:]...)
+		sc.Edges = append(sc.Edges, pathEdges...)
+		sc.VMs = append(sc.VMs, b)
+		sc.VMPos = append(sc.VMPos, len(sc.Nodes)-1)
+		sc.SetupCost += o.g.NodeCost(b)
+	}
+	if o.opts.SourceSetupCost {
+		sc.SetupCost += o.g.NodeCost(s)
+	}
+	sc.LastVM = sc.VMs[len(sc.VMs)-1]
+	for _, e := range sc.Edges {
+		sc.ConnCost += o.g.EdgeCost(e)
+	}
+	return sc, nil
+}
+
+// Path returns the cached shortest path a…b as node and edge sequences with
+// its connection cost. Used by conflict resolution to splice walks.
+func (o *Oracle) Path(a, b graph.NodeID) ([]graph.NodeID, []graph.EdgeID, float64, error) {
+	sp := o.tree(a)
+	if !sp.Reachable(b) {
+		return nil, nil, 0, fmt.Errorf("chain: no path %d→%d: %w", a, b, graph.ErrDisconnected)
+	}
+	return sp.PathTo(b), sp.EdgesTo(b), sp.Dist[b], nil
+}
+
+// Extension finds a low-cost walk from an arbitrary node `from` to an
+// arbitrary node `to` that visits nVMs distinct interior VMs from vms.
+// It powers the dynamic destination-join and VNF-insertion operations
+// (Section VII-C): the interior VMs host the VNFs still missing downstream
+// of `from`. With nVMs == 0 it degenerates to a shortest path.
+func (o *Oracle) Extension(vms []graph.NodeID, from, to graph.NodeID, nVMs int) (*ServiceChain, error) {
+	if nVMs < 0 {
+		return nil, fmt.Errorf("chain: negative VM count %d", nVMs)
+	}
+	if nVMs == 0 {
+		sp := o.tree(from)
+		pathNodes := sp.PathTo(to)
+		if pathNodes == nil {
+			return nil, fmt.Errorf("chain: no path %d→%d: %w", from, to, graph.ErrDisconnected)
+		}
+		sc := &ServiceChain{Source: from, LastVM: to, Nodes: pathNodes, Edges: sp.EdgesTo(to)}
+		for _, e := range sc.Edges {
+			sc.ConnCost += o.g.EdgeCost(e)
+		}
+		return sc, nil
+	}
+	cand := make([]graph.NodeID, 0, len(vms))
+	for _, v := range vms {
+		if v == from || v == to {
+			continue
+		}
+		cand = append(cand, v)
+	}
+	if nVMs > len(cand) {
+		return nil, fmt.Errorf("chain: extension needs %d VMs, have %d: %w",
+			nVMs, len(cand), kstroll.ErrInfeasible)
+	}
+	// Instance: node 0 = from, 1..m = cand, m+1 = to. Interior VM setup
+	// costs are half-shared onto their incident edges; endpoints
+	// contribute nothing (they are not newly enabled).
+	n := len(cand) + 2
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+	}
+	nodeAt := func(i int) graph.NodeID {
+		switch i {
+		case 0:
+			return from
+		case n - 1:
+			return to
+		default:
+			return cand[i-1]
+		}
+	}
+	halfCost := func(i int) float64 {
+		if i == 0 || i == n-1 {
+			return 0
+		}
+		return o.g.NodeCost(cand[i-1]) / 2
+	}
+	for i := 0; i < n; i++ {
+		sp := o.tree(nodeAt(i))
+		for j := i + 1; j < n; j++ {
+			d := sp.Dist[nodeAt(j)]
+			if math.IsInf(d, 1) {
+				return nil, fmt.Errorf("chain: %d and %d disconnected: %w", nodeAt(i), nodeAt(j), graph.ErrDisconnected)
+			}
+			c := d + halfCost(i) + halfCost(j)
+			cost[i][j] = c
+			cost[j][i] = c
+		}
+	}
+	in := &kstroll.Instance{N: n, Cost: cost, Start: 0, End: n - 1, K: nVMs + 2}
+	w, err := o.solver.Solve(in)
+	if err != nil {
+		return nil, fmt.Errorf("chain: extension stroll: %w", err)
+	}
+	sc := &ServiceChain{Source: from}
+	sc.Nodes = append(sc.Nodes, from)
+	for i := 1; i < len(w.Seq); i++ {
+		a, b := nodeAt(w.Seq[i-1]), nodeAt(w.Seq[i])
+		sp := o.tree(a)
+		pathNodes := sp.PathTo(b)
+		sc.Nodes = append(sc.Nodes, pathNodes[1:]...)
+		sc.Edges = append(sc.Edges, sp.EdgesTo(b)...)
+		if i < len(w.Seq)-1 {
+			sc.VMs = append(sc.VMs, b)
+			sc.VMPos = append(sc.VMPos, len(sc.Nodes)-1)
+			sc.SetupCost += o.g.NodeCost(b)
+		}
+	}
+	if len(sc.VMs) > 0 {
+		sc.LastVM = sc.VMs[len(sc.VMs)-1]
+	}
+	for _, e := range sc.Edges {
+		sc.ConnCost += o.g.EdgeCost(e)
+	}
+	return sc, nil
+}

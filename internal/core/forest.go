@@ -1,0 +1,481 @@
+// Package core implements the paper's primary contribution: the Service
+// Overlay Forest model and the two embedding algorithms, SOFDA-SS
+// (Algorithm 1, single source, (2+ρST)-approximation) and SOFDA
+// (Algorithm 2, multiple sources, 3ρST-approximation) with VNF-conflict
+// resolution (Procedure 4), plus the dynamic reconfiguration operations of
+// Section VII-C.
+//
+// A forest is represented as a set of rooted clone trees. A clone is one
+// traversal of a real network node: walks that revisit a node produce
+// several clones of it, and every clone's parent link is paid once, which
+// realizes the paper's accounting rule that a duplicated link costs once
+// per duplication. At most one clone of a VM runs a VNF, and a VM runs at
+// most one VNF across the entire forest.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sof/internal/chain"
+	"sof/internal/graph"
+)
+
+// CloneID identifies a clone within a Forest.
+type CloneID int
+
+// NoClone is the sentinel for "no clone" (e.g. the parent of a root).
+const NoClone CloneID = -1
+
+// Clone is one traversal instance of a real node.
+type Clone struct {
+	// Node is the real network node this clone copies.
+	Node graph.NodeID
+	// VNF is the 1-based index of the VNF this clone runs, 0 if none.
+	VNF int
+	// Parent is the upstream clone, NoClone for tree roots.
+	Parent CloneID
+	// ParentEdge is the real edge connecting Node to the parent's node.
+	ParentEdge graph.EdgeID
+	// deleted marks clones removed by pruning or surgery.
+	deleted bool
+}
+
+// vmUse records the global VNF assignment of a real VM (IP constraint (6)).
+type vmUse struct {
+	vnf   int
+	clone CloneID
+}
+
+// Forest is a service overlay forest under construction or in service.
+type Forest struct {
+	g        *graph.Graph
+	chainLen int
+	clones   []Clone
+	roots    []CloneID
+	// owner maps a real VM to its unique enabled VNF and clone.
+	owner map[graph.NodeID]vmUse
+	// dests maps each destination to the clone that serves it.
+	dests map[graph.NodeID]CloneID
+}
+
+// NewForest returns an empty forest over g for a chain of chainLen VNFs.
+func NewForest(g *graph.Graph, chainLen int) *Forest {
+	return &Forest{
+		g:        g,
+		chainLen: chainLen,
+		owner:    make(map[graph.NodeID]vmUse),
+		dests:    make(map[graph.NodeID]CloneID),
+	}
+}
+
+// Graph returns the underlying network.
+func (f *Forest) Graph() *graph.Graph { return f.g }
+
+// ChainLen returns the VNF chain length the forest serves.
+func (f *Forest) ChainLen() int { return f.chainLen }
+
+// Clone returns the clone record for id.
+func (f *Forest) Clone(id CloneID) Clone { return f.clones[id] }
+
+// NumClones returns the number of clone slots (including deleted ones);
+// iterate with CloneDeleted to enumerate live clones.
+func (f *Forest) NumClones() int { return len(f.clones) }
+
+// CloneDeleted reports whether clone id has been pruned.
+func (f *Forest) CloneDeleted(id CloneID) bool { return f.clones[id].deleted }
+
+// NumTrees returns the number of live roots.
+func (f *Forest) NumTrees() int {
+	n := 0
+	for _, r := range f.roots {
+		if !f.clones[r].deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// Roots returns the live root clones.
+func (f *Forest) Roots() []CloneID {
+	var out []CloneID
+	for _, r := range f.roots {
+		if !f.clones[r].deleted {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Destinations returns the destinations currently served, sorted.
+func (f *Forest) Destinations() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(f.dests))
+	for d := range f.dests {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// DestClone returns the clone serving destination d.
+func (f *Forest) DestClone(d graph.NodeID) (CloneID, bool) {
+	c, ok := f.dests[d]
+	return c, ok
+}
+
+// UsedVMs returns the real VMs running a VNF, sorted. (Figure 11(b)
+// reports its length.)
+func (f *Forest) UsedVMs() []graph.NodeID {
+	out := make([]graph.NodeID, 0, len(f.owner))
+	for v := range f.owner {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VNFOf returns the VNF index enabled on real VM v (0 if none).
+func (f *Forest) VNFOf(v graph.NodeID) int { return f.owner[v].vnf }
+
+// newRoot adds a root clone of node and registers it as a tree root.
+func (f *Forest) newRoot(node graph.NodeID) CloneID {
+	id := CloneID(len(f.clones))
+	f.clones = append(f.clones, Clone{Node: node, Parent: NoClone, ParentEdge: graph.NoEdge})
+	f.roots = append(f.roots, id)
+	return id
+}
+
+// appendClone adds a clone of node under parent via edge.
+func (f *Forest) appendClone(parent CloneID, node graph.NodeID, via graph.EdgeID) CloneID {
+	id := CloneID(len(f.clones))
+	f.clones = append(f.clones, Clone{Node: node, Parent: parent, ParentEdge: via})
+	return id
+}
+
+// NewRoot adds a root clone of node; exported for solvers outside this
+// package (e.g. the exact solver) that assemble forests directly.
+func (f *Forest) NewRoot(node graph.NodeID) CloneID { return f.newRoot(node) }
+
+// AppendClone adds a clone of node under parent via the given edge, which
+// must connect the two clones' real nodes.
+func (f *Forest) AppendClone(parent CloneID, node graph.NodeID, via graph.EdgeID) CloneID {
+	return f.appendClone(parent, node, via)
+}
+
+// AppendInPlace adds a clone of the parent's own node linked without an
+// edge. It models a VNF stage on the same machine (the enable arcs of the
+// exact solver's layered graph) and costs nothing in connection cost.
+func (f *Forest) AppendInPlace(parent CloneID) CloneID {
+	return f.appendClone(parent, f.clones[parent].Node, graph.NoEdge)
+}
+
+// Enable assigns VNF index vnf to clone c (exported builder).
+func (f *Forest) Enable(c CloneID, vnf int) error { return f.enable(c, vnf) }
+
+// enable assigns VNF index vnf to clone c and records the global owner.
+// It returns an error if the real VM is already owned with another index
+// (IP constraint (6)) or the node is not a VM.
+func (f *Forest) enable(c CloneID, vnf int) error {
+	node := f.clones[c].Node
+	if !f.g.IsVM(node) {
+		return fmt.Errorf("core: cannot enable VNF %d on non-VM node %d", vnf, node)
+	}
+	if use, ok := f.owner[node]; ok {
+		return fmt.Errorf("core: VNF conflict on VM %d: owned f%d, requested f%d", node, use.vnf, vnf)
+	}
+	f.clones[c].VNF = vnf
+	f.owner[node] = vmUse{vnf: vnf, clone: c}
+	return nil
+}
+
+// disable clears the VNF on clone c and its owner record.
+func (f *Forest) disable(c CloneID) {
+	node := f.clones[c].Node
+	if f.clones[c].VNF != 0 {
+		f.clones[c].VNF = 0
+		delete(f.owner, node)
+	}
+}
+
+// Cost returns the forest's setup and connection costs: enabled clones pay
+// their VM setup cost once; every live non-root clone pays its parent edge.
+func (f *Forest) Cost() (setup, conn float64) {
+	for _, c := range f.clones {
+		if c.deleted {
+			continue
+		}
+		if c.VNF != 0 {
+			setup += f.g.NodeCost(c.Node)
+		}
+		if c.Parent != NoClone && c.ParentEdge != graph.NoEdge {
+			conn += f.g.EdgeCost(c.ParentEdge)
+		}
+	}
+	return setup, conn
+}
+
+// TotalCost is the sum of setup and connection costs.
+func (f *Forest) TotalCost() float64 {
+	s, c := f.Cost()
+	return s + c
+}
+
+// MarkDestination records that destination d is served at clone c.
+func (f *Forest) MarkDestination(d graph.NodeID, c CloneID) {
+	f.dests[d] = c
+}
+
+// AttachChainWalk appends the full walk of sc as a new tree rooted at the
+// chain's source, enabling the chain's VNFs. It returns the root and final
+// clone of the walk. The caller is responsible for conflict-freedom; use
+// the resolver for general additions.
+func (f *Forest) AttachChainWalk(sc *chain.ServiceChain) (root, last CloneID, err error) {
+	root = f.newRoot(sc.Source)
+	cur := root
+	vmIdx := 0
+	for i := 1; i < len(sc.Nodes); i++ {
+		cur = f.appendClone(cur, sc.Nodes[i], sc.Edges[i-1])
+		if vmIdx < len(sc.VMPos) && sc.VMPos[vmIdx] == i {
+			if err := f.enable(cur, vmIdx+1); err != nil {
+				return NoClone, NoClone, err
+			}
+			vmIdx++
+		}
+	}
+	if vmIdx != len(sc.VMs) {
+		return NoClone, NoClone, fmt.Errorf("core: walk enabled %d of %d VNFs", vmIdx, len(sc.VMs))
+	}
+	return root, cur, nil
+}
+
+// AttachTree hangs a tree of real edges off the anchor clone: edges must
+// form a tree in g containing anchor's real node. Every destination in
+// dests found in the component is marked as served. Returns the number of
+// destinations attached.
+func (f *Forest) AttachTree(anchor CloneID, edges []graph.EdgeID, dests map[graph.NodeID]bool) (int, error) {
+	anchorNode := f.clones[anchor].Node
+	adj := make(map[graph.NodeID][]graph.EdgeID)
+	for _, id := range edges {
+		e := f.g.Edge(id)
+		adj[e.U] = append(adj[e.U], id)
+		adj[e.V] = append(adj[e.V], id)
+	}
+	if len(edges) > 0 {
+		if _, ok := adj[anchorNode]; !ok {
+			return 0, fmt.Errorf("core: anchor node %d not in attached tree", anchorNode)
+		}
+	}
+	served := 0
+	if dests[anchorNode] {
+		f.MarkDestination(anchorNode, anchor)
+		served++
+	}
+	type item struct {
+		node  graph.NodeID
+		clone CloneID
+	}
+	visited := map[graph.NodeID]bool{anchorNode: true}
+	queue := []item{{node: anchorNode, clone: anchor}}
+	usedEdges := 0
+	for len(queue) > 0 {
+		it := queue[0]
+		queue = queue[1:]
+		for _, id := range adj[it.node] {
+			other := f.g.Edge(id).Other(it.node)
+			if visited[other] {
+				continue
+			}
+			visited[other] = true
+			usedEdges++
+			c := f.appendClone(it.clone, other, id)
+			if dests[other] {
+				f.MarkDestination(other, c)
+				served++
+			}
+			queue = append(queue, item{node: other, clone: c})
+		}
+	}
+	if usedEdges != len(edges) {
+		return served, fmt.Errorf("core: attached tree used %d of %d edges (not a connected tree at anchor %d)",
+			usedEdges, len(edges), anchorNode)
+	}
+	return served, nil
+}
+
+// PathToRoot returns the clone path from c up to its root, inclusive.
+func (f *Forest) PathToRoot(c CloneID) []CloneID {
+	var out []CloneID
+	for cur := c; cur != NoClone; cur = f.clones[cur].Parent {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// vnfProgress returns how many chain VNFs have been applied on the path
+// from the root down to clone c, and an error if they are out of order.
+func (f *Forest) vnfProgress(c CloneID) (int, error) {
+	path := f.PathToRoot(c)
+	// path is c..root; walk it in reverse (root→c) collecting VNF indices.
+	next := 1
+	for i := len(path) - 1; i >= 0; i-- {
+		v := f.clones[path[i]].VNF
+		if v == 0 {
+			continue
+		}
+		if v != next {
+			return 0, fmt.Errorf("core: VNF f%d out of order (expected f%d) at clone %d", v, next, path[i])
+		}
+		next++
+	}
+	return next - 1, nil
+}
+
+// Validate checks the full feasibility of the forest for the given request:
+// every destination is served by a root-to-destination path whose VNFs are
+// exactly f1…f|C| in order, roots are sources, parent links are structurally
+// sound and acyclic, and the global one-VNF-per-VM rule holds.
+func (f *Forest) Validate(sources, dests []graph.NodeID) error {
+	srcSet := make(map[graph.NodeID]bool, len(sources))
+	for _, s := range sources {
+		srcSet[s] = true
+	}
+	// Structural soundness and acyclicity.
+	for id, c := range f.clones {
+		if c.deleted {
+			continue
+		}
+		if c.Parent != NoClone {
+			p := f.clones[c.Parent]
+			if p.deleted {
+				return fmt.Errorf("core: clone %d has deleted parent %d", id, c.Parent)
+			}
+			if c.ParentEdge == graph.NoEdge {
+				// In-place link: only legal between clones of one node.
+				if p.Node != c.Node {
+					return fmt.Errorf("core: clone %d in-place link to different node %d", id, p.Node)
+				}
+			} else {
+				e := f.g.Edge(c.ParentEdge)
+				if !(e.U == c.Node && e.V == p.Node) && !(e.V == c.Node && e.U == p.Node) {
+					return fmt.Errorf("core: clone %d parent edge %d does not connect %d-%d",
+						id, c.ParentEdge, c.Node, p.Node)
+				}
+			}
+		}
+		steps := 0
+		for cur := CloneID(id); cur != NoClone; cur = f.clones[cur].Parent {
+			steps++
+			if steps > len(f.clones) {
+				return fmt.Errorf("core: parent cycle at clone %d", id)
+			}
+		}
+	}
+	// Ownership consistency.
+	seen := make(map[graph.NodeID]int)
+	for id, c := range f.clones {
+		if c.deleted || c.VNF == 0 {
+			continue
+		}
+		if !f.g.IsVM(c.Node) {
+			return fmt.Errorf("core: non-VM node %d runs f%d", c.Node, c.VNF)
+		}
+		if c.VNF < 1 || c.VNF > f.chainLen {
+			return fmt.Errorf("core: clone %d runs out-of-range VNF f%d", id, c.VNF)
+		}
+		if prev, ok := seen[c.Node]; ok {
+			return fmt.Errorf("core: VM %d runs two VNFs (f%d and f%d)", c.Node, prev, c.VNF)
+		}
+		seen[c.Node] = c.VNF
+		use, ok := f.owner[c.Node]
+		if !ok || use.vnf != c.VNF || use.clone != CloneID(id) {
+			return fmt.Errorf("core: owner record for VM %d inconsistent", c.Node)
+		}
+	}
+	if len(seen) != len(f.owner) {
+		return fmt.Errorf("core: %d enabled clones but %d owner records", len(seen), len(f.owner))
+	}
+	// Per-destination service chains.
+	for _, d := range dests {
+		c, ok := f.dests[d]
+		if !ok {
+			return fmt.Errorf("core: destination %d not served", d)
+		}
+		if f.clones[c].deleted {
+			return fmt.Errorf("core: destination %d served by deleted clone %d", d, c)
+		}
+		if f.clones[c].Node != d {
+			return fmt.Errorf("core: destination %d served by clone of node %d", d, f.clones[c].Node)
+		}
+		got, err := f.vnfProgress(c)
+		if err != nil {
+			return fmt.Errorf("core: destination %d: %w", d, err)
+		}
+		if got != f.chainLen {
+			return fmt.Errorf("core: destination %d received %d of %d VNFs", d, got, f.chainLen)
+		}
+		path := f.PathToRoot(c)
+		rootClone := f.clones[path[len(path)-1]]
+		if !srcSet[rootClone.Node] {
+			return fmt.Errorf("core: destination %d rooted at non-source node %d", d, rootClone.Node)
+		}
+	}
+	return nil
+}
+
+// Prune removes every clone not on a root path of a served destination and
+// disables VNFs on removed clones. Cost never increases.
+func (f *Forest) Prune() {
+	needed := make([]bool, len(f.clones))
+	for _, c := range f.dests {
+		for cur := c; cur != NoClone; cur = f.clones[cur].Parent {
+			if needed[cur] {
+				break
+			}
+			needed[cur] = true
+		}
+	}
+	for id := range f.clones {
+		if !needed[id] && !f.clones[id].deleted {
+			f.disable(CloneID(id))
+			f.clones[id].deleted = true
+		}
+	}
+}
+
+// Stats summarizes a forest for reporting.
+type Stats struct {
+	SetupCost float64
+	ConnCost  float64
+	TotalCost float64
+	Trees     int
+	UsedVMs   int
+	Clones    int
+}
+
+// Stats returns summary statistics of the forest.
+func (f *Forest) Stats() Stats {
+	setup, conn := f.Cost()
+	live := 0
+	for _, c := range f.clones {
+		if !c.deleted {
+			live++
+		}
+	}
+	return Stats{
+		SetupCost: setup,
+		ConnCost:  conn,
+		TotalCost: setup + conn,
+		Trees:     f.NumTrees(),
+		UsedVMs:   len(f.owner),
+		Clones:    live,
+	}
+}
+
+// assertFinite guards against NaN/Inf costs escaping into results.
+func assertFinite(v float64, what string) error {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return fmt.Errorf("core: non-finite %s: %v", what, v)
+	}
+	return nil
+}

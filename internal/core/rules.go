@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sof/internal/graph"
+)
+
+// FlowRule is one OpenFlow-style forwarding entry derived from a forest,
+// in the spirit of the paper's testbed ("SOFDA ... relies on OpenDaylight
+// APIs to install forwarding rules into the switches"). Rules are keyed by
+// (node, stage): the stage is the number of VNFs already applied to the
+// stream, which real deployments encode in a header tag (e.g. VLAN or
+// MPLS label) so that clones of a node can forward the same group
+// differently on each pass.
+type FlowRule struct {
+	// Node is the switch or VM the rule is installed on.
+	Node graph.NodeID
+	// Stage is the VNF-progress tag matched by the rule.
+	Stage int
+	// InEdge is the link the stream arrives on (NoEdge at a root).
+	InEdge graph.EdgeID
+	// OutEdges are the links the stream is replicated to.
+	OutEdges []graph.EdgeID
+	// ApplyVNF is the 1-based VNF executed at this node before
+	// forwarding, 0 for pure forwarding.
+	ApplyVNF int
+	// Deliver reports whether the stream is handed to a local destination.
+	Deliver bool
+}
+
+// String renders the rule for logs and debugging.
+func (r FlowRule) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "node %d stage %d: in=%d", r.Node, r.Stage, r.InEdge)
+	if r.ApplyVNF > 0 {
+		fmt.Fprintf(&b, " apply=f%d", r.ApplyVNF)
+	}
+	fmt.Fprintf(&b, " out=%v", r.OutEdges)
+	if r.Deliver {
+		b.WriteString(" deliver")
+	}
+	return b.String()
+}
+
+// FlowRules compiles the forest into per-node forwarding rules. Every live
+// clone yields at most one rule; clones of the same node at different VNF
+// stages yield distinct rules, which is how the walk revisits of the paper
+// map onto real switches.
+func (f *Forest) FlowRules() []FlowRule {
+	// Children index.
+	kids := make(map[CloneID][]CloneID)
+	for id := range f.clones {
+		c := f.clones[id]
+		if c.deleted || c.Parent == NoClone {
+			continue
+		}
+		kids[c.Parent] = append(kids[c.Parent], CloneID(id))
+	}
+	destAt := make(map[CloneID]bool, len(f.dests))
+	for _, c := range f.dests {
+		destAt[c] = true
+	}
+	var rules []FlowRule
+	for id := range f.clones {
+		c := f.clones[id]
+		if c.deleted {
+			continue
+		}
+		stage, err := f.vnfProgress(CloneID(id))
+		if err != nil {
+			continue
+		}
+		r := FlowRule{
+			Node:     c.Node,
+			Stage:    stage,
+			InEdge:   graph.NoEdge,
+			ApplyVNF: c.VNF,
+			Deliver:  destAt[CloneID(id)],
+		}
+		if c.VNF != 0 {
+			// The stage tag matched on ingress is before this VNF ran.
+			r.Stage = stage - 1
+		}
+		if c.Parent != NoClone {
+			r.InEdge = c.ParentEdge
+		}
+		for _, k := range kids[CloneID(id)] {
+			if e := f.clones[k].ParentEdge; e != graph.NoEdge {
+				r.OutEdges = append(r.OutEdges, e)
+			} else {
+				// In-place child (VNF stage on the same machine): its
+				// own rule handles the next stage; nothing to forward.
+				continue
+			}
+		}
+		if len(r.OutEdges) == 0 && !r.Deliver && c.VNF == 0 {
+			continue // pure dead-end clone (pruned trees keep none)
+		}
+		rules = append(rules, r)
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		if rules[i].Node != rules[j].Node {
+			return rules[i].Node < rules[j].Node
+		}
+		return rules[i].Stage < rules[j].Stage
+	})
+	return rules
+}
+
+// RuleStats summarizes the flow-table footprint of a forest: total rules
+// and the largest per-switch table, the quantity SDN multicast papers
+// track against TCAM limits.
+func (f *Forest) RuleStats() (total, maxPerNode int) {
+	perNode := make(map[graph.NodeID]int)
+	for _, r := range f.FlowRules() {
+		perNode[r.Node]++
+		total++
+		if perNode[r.Node] > maxPerNode {
+			maxPerNode = perNode[r.Node]
+		}
+	}
+	return total, maxPerNode
+}

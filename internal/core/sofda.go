@@ -1,0 +1,504 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sof/internal/chain"
+	"sof/internal/graph"
+	"sof/internal/steiner"
+)
+
+// auxGraph is the Steiner instance Ĝ of Procedure 3: the original network
+// plus a virtual super-source ŝ, one duplicate per source (VS), one
+// duplicate per VM (VM̂), zero-cost edges ŝ–v̂ and û–u, and one virtual edge
+// v̂–û per feasible candidate service chain, weighted by the chain's total
+// cost.
+type auxGraph struct {
+	g    *graph.Graph // the augmented graph
+	sHat graph.NodeID
+	// srcDup maps each source to its duplicate v̂; vmDup maps each VM to û.
+	srcDup map[graph.NodeID]graph.NodeID
+	vmDup  map[graph.NodeID]graph.NodeID
+	// chains maps a virtual EdgeID to its candidate service chain.
+	chains map[graph.EdgeID]*chain.ServiceChain
+	// emm maps û back to its real VM u.
+	dupToVM map[graph.NodeID]graph.NodeID
+	// origNodes is the node count of the original graph; nodes below this
+	// threshold are real.
+	origNodes int
+	origEdges int
+}
+
+// buildAuxGraph constructs Ĝ. For chainLen == 0 the sources connect to
+// their duplicates directly (the problem degenerates to a Steiner forest).
+func buildAuxGraph(g *graph.Graph, oracle *chain.Oracle, sources, vms []graph.NodeID, chainLen int) (*auxGraph, error) {
+	aux := &auxGraph{
+		g:         g.Clone(),
+		srcDup:    make(map[graph.NodeID]graph.NodeID, len(sources)),
+		vmDup:     make(map[graph.NodeID]graph.NodeID, len(vms)),
+		chains:    make(map[graph.EdgeID]*chain.ServiceChain),
+		dupToVM:   make(map[graph.NodeID]graph.NodeID, len(vms)),
+		origNodes: g.NumNodes(),
+		origEdges: g.NumEdges(),
+	}
+	aux.sHat = aux.g.AddSwitch("ŝ")
+	for _, s := range sources {
+		if _, ok := aux.srcDup[s]; ok {
+			continue
+		}
+		d := aux.g.AddSwitch(fmt.Sprintf("src-dup-%d", s))
+		aux.srcDup[s] = d
+		aux.g.MustAddEdge(aux.sHat, d, 0)
+	}
+	if chainLen == 0 {
+		// Degenerate: ŝ–v̂–v with zero cost; anchors are the sources.
+		for s, d := range aux.srcDup {
+			aux.g.MustAddEdge(d, s, 0)
+		}
+		return aux, nil
+	}
+	for _, u := range vms {
+		if _, ok := aux.vmDup[u]; ok {
+			continue
+		}
+		d := aux.g.AddSwitch(fmt.Sprintf("vm-dup-%d", u))
+		aux.vmDup[u] = d
+		aux.dupToVM[d] = u
+		aux.g.MustAddEdge(d, u, 0)
+	}
+	feasible := 0
+	for _, s := range sources {
+		for _, u := range vms {
+			if u == s {
+				continue
+			}
+			sc, err := oracle.Chain(vms, s, u, chainLen)
+			if err != nil {
+				continue // unreachable or too few VMs via this pair
+			}
+			id := aux.g.MustAddEdge(aux.srcDup[s], aux.vmDup[u], sc.TotalCost())
+			aux.chains[id] = sc
+			feasible++
+		}
+	}
+	if feasible == 0 {
+		return nil, errors.New("core: no feasible candidate service chain for any (source, last VM) pair")
+	}
+	return aux, nil
+}
+
+// buildAuxGraphFromCandidates constructs Ĝ from externally computed
+// candidate chains (the distributed implementation gathers them from the
+// per-domain controllers, Section VI).
+func buildAuxGraphFromCandidates(g *graph.Graph, sources, vms []graph.NodeID, chainLen int, candidates []*chain.ServiceChain) (*auxGraph, error) {
+	aux := &auxGraph{
+		g:         g.Clone(),
+		srcDup:    make(map[graph.NodeID]graph.NodeID, len(sources)),
+		vmDup:     make(map[graph.NodeID]graph.NodeID, len(vms)),
+		chains:    make(map[graph.EdgeID]*chain.ServiceChain),
+		dupToVM:   make(map[graph.NodeID]graph.NodeID, len(vms)),
+		origNodes: g.NumNodes(),
+		origEdges: g.NumEdges(),
+	}
+	aux.sHat = aux.g.AddSwitch("ŝ")
+	for _, s := range sources {
+		if _, ok := aux.srcDup[s]; ok {
+			continue
+		}
+		d := aux.g.AddSwitch(fmt.Sprintf("src-dup-%d", s))
+		aux.srcDup[s] = d
+		aux.g.MustAddEdge(aux.sHat, d, 0)
+	}
+	for _, u := range vms {
+		if _, ok := aux.vmDup[u]; ok {
+			continue
+		}
+		d := aux.g.AddSwitch(fmt.Sprintf("vm-dup-%d", u))
+		aux.vmDup[u] = d
+		aux.dupToVM[d] = u
+		aux.g.MustAddEdge(d, u, 0)
+	}
+	feasible := 0
+	for _, sc := range candidates {
+		if sc == nil || len(sc.VMs) != chainLen {
+			continue
+		}
+		sd, ok := aux.srcDup[sc.Source]
+		if !ok {
+			return nil, fmt.Errorf("core: candidate chain from unknown source %d", sc.Source)
+		}
+		ud, ok := aux.vmDup[sc.LastVM]
+		if !ok {
+			return nil, fmt.Errorf("core: candidate chain to unknown VM %d", sc.LastVM)
+		}
+		id := aux.g.MustAddEdge(sd, ud, sc.TotalCost())
+		aux.chains[id] = sc
+		feasible++
+	}
+	if feasible == 0 {
+		return nil, errors.New("core: no feasible candidate service chain supplied")
+	}
+	return aux, nil
+}
+
+// SOFDAFromCandidates runs Algorithm 2's Steiner, conflict-resolution, and
+// assembly phases over externally supplied candidate chains. It is the
+// leader-side entry point of the distributed implementation (Section VI);
+// SOFDA itself is equivalent to computing all |S|·|M| candidates centrally
+// and calling this.
+func SOFDAFromCandidates(g *graph.Graph, req Request, opts *Options, candidates []*chain.ServiceChain) (*Forest, error) {
+	if err := req.Validate(g); err != nil {
+		return nil, err
+	}
+	if req.ChainLen == 0 {
+		return SOFDA(g, req, opts)
+	}
+	o := optsOrDefault(opts)
+	vms := o.vms(g)
+	oracle := chain.NewOracle(g, o.Chain)
+	aux, err := buildAuxGraphFromCandidates(g, req.Sources, vms, req.ChainLen, candidates)
+	if err != nil {
+		return nil, err
+	}
+	terminals := append([]graph.NodeID{aux.sHat}, req.Dests...)
+	tree, err := steiner.KMB(aux.g, terminals)
+	if err != nil {
+		return nil, fmt.Errorf("core: SOFDA Steiner phase: %w", err)
+	}
+	best, err := assembleForest(g, oracle, vms, req, aux, tree.Edges)
+	if err != nil {
+		return nil, err
+	}
+	destTrees := graph.DijkstraAll(g, req.Dests)
+	for _, s := range req.Sources {
+		cand := bestSingleTree(g, aux, s, req, destTrees)
+		if cand == nil {
+			continue
+		}
+		f, err := assembleForest(g, oracle, vms, req, aux, cand)
+		if err != nil {
+			continue
+		}
+		if f.TotalCost() < best.TotalCost() {
+			best = f
+		}
+	}
+	return best, nil
+}
+
+// isReal reports whether n is a node of the original network.
+func (a *auxGraph) isReal(n graph.NodeID) bool { return int(n) < a.origNodes }
+
+// isRealEdge reports whether e is an edge of the original network.
+func (a *auxGraph) isRealEdge(e graph.EdgeID) bool { return int(e) < a.origEdges }
+
+// SOFDA is Algorithm 2: the 3ρST-approximation for the general SOF problem
+// with multiple sources. It builds Ĝ, extracts a Steiner tree spanning ŝ
+// and all destinations, materializes the selected candidate chains as
+// walks (resolving VNF conflicts per Procedure 4), and attaches the
+// tree's real-edge components to the walks' last VMs.
+func SOFDA(g *graph.Graph, req Request, opts *Options) (*Forest, error) {
+	if err := req.Validate(g); err != nil {
+		return nil, err
+	}
+	o := optsOrDefault(opts)
+	vms := o.vms(g)
+	oracle := chain.NewOracle(g, o.Chain)
+
+	aux, err := buildAuxGraph(g, oracle, req.Sources, vms, req.ChainLen)
+	if err != nil {
+		return nil, err
+	}
+	terminals := append([]graph.NodeID{aux.sHat}, req.Dests...)
+	tree, err := steiner.KMB(aux.g, terminals)
+	if err != nil {
+		return nil, fmt.Errorf("core: SOFDA Steiner phase: %w", err)
+	}
+	best, err := assembleForest(g, oracle, vms, req, aux, tree.Edges)
+	if err != nil {
+		return nil, err
+	}
+	// Refinement: the KMB tree on Ĝ is one ρST-approximate Steiner tree;
+	// any other feasible tree of Ĝ is equally admissible. For each source,
+	// evaluate the single-chain tree built from its cheapest candidate
+	// chain (the Ĝ tree that uses exactly one virtual edge) and keep the
+	// cheapest assembled forest. This keeps the 3ρST guarantee — the KMB
+	// candidate is never discarded for a worse one — while shaving the
+	// 2-approximation noise on instances where one tree is optimal.
+	if req.ChainLen > 0 {
+		destTrees := graph.DijkstraAll(g, req.Dests)
+		for _, s := range req.Sources {
+			cand := bestSingleTree(g, aux, s, req, destTrees)
+			if cand == nil {
+				continue
+			}
+			f, err := assembleForest(g, oracle, vms, req, aux, cand)
+			if err != nil {
+				continue
+			}
+			if f.TotalCost() < best.TotalCost() {
+				best = f
+			}
+		}
+	}
+	return best, nil
+}
+
+// bestSingleTree returns Ĝ tree edges for the cheapest single-chain
+// solution rooted at source s: its best virtual edge (v̂,û) plus a KMB tree
+// over {u} ∪ dests, or nil when infeasible. Candidates are ranked by chain
+// cost + the metric-closure MST over {u} ∪ dests (KMB's own upper bound),
+// and only the winner gets a full KMB run.
+func bestSingleTree(g *graph.Graph, aux *auxGraph, s graph.NodeID, req Request, destTrees map[graph.NodeID]*graph.ShortestPaths) []graph.EdgeID {
+	sHatDup, ok := aux.srcDup[s]
+	if !ok {
+		return nil
+	}
+	bestEdge := graph.NoEdge
+	bestCost := 0.0
+	for _, a := range aux.g.Adj(sHatDup) {
+		sc, ok := aux.chains[a.Edge]
+		if !ok {
+			continue
+		}
+		c := sc.TotalCost() + closureMST(sc.LastVM, req.Dests, destTrees)
+		if bestEdge == graph.NoEdge || c < bestCost {
+			bestEdge = a.Edge
+			bestCost = c
+		}
+	}
+	if bestEdge == graph.NoEdge {
+		return nil
+	}
+	sc := aux.chains[bestEdge]
+	tree, err := steiner.KMB(g, append([]graph.NodeID{sc.LastVM}, req.Dests...))
+	if err != nil {
+		return nil
+	}
+	edges := append([]graph.EdgeID(nil), tree.Edges...)
+	return append(edges, bestEdge)
+}
+
+// closureMST is the MST cost of the metric closure over {u} ∪ dests, using
+// precomputed per-destination shortest-path trees. It upper-bounds (within
+// KMB's factor) the Steiner tree connecting u to the destinations.
+func closureMST(u graph.NodeID, dests []graph.NodeID, destTrees map[graph.NodeID]*graph.ShortestPaths) float64 {
+	nodes := append([]graph.NodeID{u}, dests...)
+	const inf = math.MaxFloat64
+	inTree := make([]bool, len(nodes))
+	minCost := make([]float64, len(nodes))
+	for i := range minCost {
+		minCost[i] = inf
+	}
+	minCost[0] = 0
+	total := 0.0
+	dist := func(i, j int) float64 {
+		// At least one of the pair is a destination with a full tree.
+		if i > 0 {
+			return destTrees[nodes[i]].Dist[nodes[j]]
+		}
+		return destTrees[nodes[j]].Dist[nodes[i]]
+	}
+	for iter := 0; iter < len(nodes); iter++ {
+		best := -1
+		for i := range nodes {
+			if !inTree[i] && (best < 0 || minCost[i] < minCost[best]) {
+				best = i
+			}
+		}
+		inTree[best] = true
+		if minCost[best] < inf {
+			total += minCost[best]
+		}
+		for i := range nodes {
+			if !inTree[i] {
+				if d := dist(best, i); d < minCost[i] {
+					minCost[i] = d
+				}
+			}
+		}
+	}
+	return total
+}
+
+// assembleForest converts a Steiner tree in Ĝ into a feasible service
+// overlay forest (Algorithm 2 steps 3–9).
+func assembleForest(g *graph.Graph, oracle *chain.Oracle, vms []graph.NodeID, req Request, aux *auxGraph, treeEdges []graph.EdgeID) (*Forest, error) {
+	// Partition the tree's edges: real edges form the distribution
+	// components; virtual ESM edges select candidate chains.
+	var realEdges []graph.EdgeID
+	type anchorInfo struct {
+		sc *chain.ServiceChain // nil for chainLen==0 source anchors
+		at graph.NodeID        // real anchor node
+	}
+	var anchors []anchorInfo
+	seenAnchor := make(map[graph.NodeID]bool)
+	for _, id := range treeEdges {
+		if aux.isRealEdge(id) {
+			realEdges = append(realEdges, id)
+			continue
+		}
+		if sc, ok := aux.chains[id]; ok {
+			// Two chains may target the same last VM when the Steiner tree
+			// routes through û as a junction; conflict resolution merges
+			// them via same-index sharing, so both are added.
+			anchors = append(anchors, anchorInfo{sc: sc, at: sc.LastVM})
+			continue
+		}
+		// Zero-cost structural edges (ŝ–v̂, û–u, and for chainLen==0 the
+		// v̂–v edges). The v̂–v edges identify source anchors.
+		e := aux.g.Edge(id)
+		if req.ChainLen == 0 {
+			for s, d := range aux.srcDup {
+				if (e.U == d && e.V == s) || (e.V == d && e.U == s) {
+					if !seenAnchor[s] {
+						seenAnchor[s] = true
+						anchors = append(anchors, anchorInfo{at: s})
+					}
+				}
+			}
+		}
+	}
+	if len(anchors) == 0 {
+		return nil, errors.New("core: Steiner tree selected no candidate chain")
+	}
+	// Deterministic order: cheaper chains first so expensive walks attach
+	// to established prefixes.
+	sort.SliceStable(anchors, func(i, j int) bool {
+		ci, cj := 0.0, 0.0
+		if anchors[i].sc != nil {
+			ci = anchors[i].sc.TotalCost()
+		}
+		if anchors[j].sc != nil {
+			cj = anchors[j].sc.TotalCost()
+		}
+		if ci != cj {
+			return ci < cj
+		}
+		return anchors[i].at < anchors[j].at
+	})
+
+	f := NewForest(g, req.ChainLen)
+	res := newResolver(f, oracle, vms)
+	anchorClone := make(map[graph.NodeID]CloneID, len(anchors))
+	for _, a := range anchors {
+		if a.sc == nil {
+			anchorClone[a.at] = f.newRoot(a.at)
+			continue
+		}
+		last, err := res.AddWalk(a.sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: adding walk %d→%d: %w", a.sc.Source, a.sc.LastVM, err)
+		}
+		anchorClone[a.at] = last
+	}
+
+	// Group real tree edges into connected components and attach each to
+	// its unique anchor.
+	destSet := make(map[graph.NodeID]bool, len(req.Dests))
+	for _, d := range req.Dests {
+		destSet[d] = true
+	}
+	comps := componentsOf(g, realEdges)
+	served := 0
+	for _, comp := range comps {
+		anchor := graph.None
+		for n := range comp.nodes {
+			if _, ok := anchorClone[n]; ok {
+				if anchor != graph.None {
+					return nil, fmt.Errorf("core: tree component holds two anchors (%d, %d)", anchor, n)
+				}
+				anchor = n
+			}
+		}
+		if anchor == graph.None {
+			// A component not reachable from any chain: tolerated only if
+			// it serves no destination (pruned dead weight).
+			for n := range comp.nodes {
+				if destSet[n] {
+					return nil, fmt.Errorf("core: destination %d in component with no anchor", n)
+				}
+			}
+			continue
+		}
+		n, err := f.AttachTree(anchorClone[anchor], comp.edges, destSet)
+		if err != nil {
+			return nil, err
+		}
+		served += n
+	}
+	// Destinations that coincide with an anchor node are served directly.
+	for _, d := range req.Dests {
+		if _, ok := f.dests[d]; ok {
+			continue
+		}
+		if c, ok := anchorClone[d]; ok {
+			f.MarkDestination(d, c)
+			served++
+		}
+	}
+	if served < len(req.Dests) {
+		return nil, fmt.Errorf("core: only %d of %d destinations attached", served, len(req.Dests))
+	}
+	f.Prune()
+	if err := f.Validate(req.Sources, req.Dests); err != nil {
+		return nil, fmt.Errorf("core: SOFDA produced infeasible forest: %w", err)
+	}
+	return f, nil
+}
+
+// component is a connected set of real edges with its node set.
+type component struct {
+	nodes map[graph.NodeID]bool
+	edges []graph.EdgeID
+}
+
+// componentsOf groups edges into connected components.
+func componentsOf(g *graph.Graph, edges []graph.EdgeID) []*component {
+	parent := make(map[graph.NodeID]graph.NodeID)
+	var find func(x graph.NodeID) graph.NodeID
+	find = func(x graph.NodeID) graph.NodeID {
+		if p, ok := parent[x]; ok && p != x {
+			r := find(p)
+			parent[x] = r
+			return r
+		}
+		if _, ok := parent[x]; !ok {
+			parent[x] = x
+		}
+		return parent[x]
+	}
+	for _, id := range edges {
+		e := g.Edge(id)
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	byRoot := make(map[graph.NodeID]*component)
+	for _, id := range edges {
+		e := g.Edge(id)
+		r := find(e.U)
+		c, ok := byRoot[r]
+		if !ok {
+			c = &component{nodes: make(map[graph.NodeID]bool)}
+			byRoot[r] = c
+		}
+		c.edges = append(c.edges, id)
+		c.nodes[e.U] = true
+		c.nodes[e.V] = true
+	}
+	out := make([]*component, 0, len(byRoot))
+	roots := make([]graph.NodeID, 0, len(byRoot))
+	for r := range byRoot {
+		roots = append(roots, r)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+	for _, r := range roots {
+		out = append(out, byRoot[r])
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"sof/internal/chain"
+	"sof/internal/graph"
+	"sof/internal/steiner"
+)
+
+// Request describes one SOF embedding problem: a set of candidate sources,
+// a set of destinations all demanding the same VNF chain, and the chain
+// length |C|.
+type Request struct {
+	Sources  []graph.NodeID
+	Dests    []graph.NodeID
+	ChainLen int
+}
+
+// Validate checks the request against the network.
+func (r *Request) Validate(g *graph.Graph) error {
+	if len(r.Sources) == 0 {
+		return errors.New("core: request has no sources")
+	}
+	if len(r.Dests) == 0 {
+		return errors.New("core: request has no destinations")
+	}
+	if r.ChainLen < 0 {
+		return fmt.Errorf("core: negative chain length %d", r.ChainLen)
+	}
+	for _, s := range r.Sources {
+		if !g.Valid(s) {
+			return fmt.Errorf("core: source %d out of range", s)
+		}
+	}
+	for _, d := range r.Dests {
+		if !g.Valid(d) {
+			return fmt.Errorf("core: destination %d out of range", d)
+		}
+	}
+	return nil
+}
+
+// Options configure the embedding algorithms.
+type Options struct {
+	// Chain configures the chain oracle (k-stroll solver, Appendix D
+	// source costs).
+	Chain chain.Options
+	// VMs restricts the candidate VM set; all VMs of the graph when nil.
+	VMs []graph.NodeID
+}
+
+func (o *Options) vms(g *graph.Graph) []graph.NodeID {
+	if o != nil && o.VMs != nil {
+		return o.VMs
+	}
+	return g.VMs()
+}
+
+func optsOrDefault(opts *Options) Options {
+	if opts == nil {
+		return Options{}
+	}
+	return *opts
+}
+
+// SOFDASS is Algorithm 1: the (2+ρST)-approximation for the single-source
+// SOF problem. For every candidate last VM u it builds the minimum-cost
+// service chain s→u via the k-stroll reduction (Procedures 1–2), appends a
+// Steiner tree spanning u and all destinations, and returns the cheapest
+// resulting forest.
+func SOFDASS(g *graph.Graph, source graph.NodeID, dests []graph.NodeID, chainLen int, opts *Options) (*Forest, error) {
+	req := Request{Sources: []graph.NodeID{source}, Dests: dests, ChainLen: chainLen}
+	if err := req.Validate(g); err != nil {
+		return nil, err
+	}
+	o := optsOrDefault(opts)
+	vms := o.vms(g)
+	oracle := chain.NewOracle(g, o.Chain)
+
+	if chainLen == 0 {
+		// Degenerate case: no VNFs; the forest is a Steiner tree rooted at
+		// the source.
+		tree, err := steiner.KMB(g, append([]graph.NodeID{source}, dests...))
+		if err != nil {
+			return nil, err
+		}
+		return forestFromTree(g, source, tree, dests, 0)
+	}
+
+	type candidate struct {
+		sc   *chain.ServiceChain
+		tree *steiner.Tree
+		cost float64
+	}
+	var best *candidate
+	var lastErr error
+	for _, u := range vms {
+		if u == source {
+			continue
+		}
+		sc, err := oracle.Chain(vms, source, u, chainLen)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		tree, err := steiner.KMB(g, append([]graph.NodeID{u}, dests...))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cost := sc.TotalCost() + tree.Cost
+		if best == nil || cost < best.cost {
+			best = &candidate{sc: sc, tree: tree, cost: cost}
+		}
+	}
+	if best == nil {
+		if lastErr == nil {
+			lastErr = errors.New("core: no feasible last VM")
+		}
+		return nil, fmt.Errorf("core: SOFDA-SS found no feasible forest: %w", lastErr)
+	}
+	if err := assertFinite(best.cost, "SOFDA-SS cost"); err != nil {
+		return nil, err
+	}
+
+	f := NewForest(g, chainLen)
+	_, last, err := f.AttachChainWalk(best.sc)
+	if err != nil {
+		return nil, err
+	}
+	destSet := make(map[graph.NodeID]bool, len(dests))
+	for _, d := range dests {
+		destSet[d] = true
+	}
+	if _, err := f.AttachTree(last, best.tree.Edges, destSet); err != nil {
+		return nil, err
+	}
+	f.Prune()
+	if err := f.Validate(req.Sources, req.Dests); err != nil {
+		return nil, fmt.Errorf("core: SOFDA-SS produced infeasible forest: %w", err)
+	}
+	return f, nil
+}
+
+// forestFromTree builds a forest from a plain Steiner tree anchored at
+// `anchor`, used for the chainLen==0 degenerate case and by baselines.
+func forestFromTree(g *graph.Graph, anchor graph.NodeID, tree *steiner.Tree, dests []graph.NodeID, chainLen int) (*Forest, error) {
+	f := NewForest(g, chainLen)
+	root := f.newRoot(anchor)
+	destSet := make(map[graph.NodeID]bool, len(dests))
+	for _, d := range dests {
+		destSet[d] = true
+	}
+	if _, err := f.AttachTree(root, tree.Edges, destSet); err != nil {
+		return nil, err
+	}
+	f.Prune()
+	if err := f.Validate([]graph.NodeID{anchor}, dests); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// lowerBoundCost is a cheap sanity lower bound used in tests: the cost of
+// any feasible forest is at least the cheapest chainLen VM setups.
+func lowerBoundCost(g *graph.Graph, vms []graph.NodeID, chainLen int) float64 {
+	costs := make([]float64, 0, len(vms))
+	for _, v := range vms {
+		costs = append(costs, g.NodeCost(v))
+	}
+	if len(costs) < chainLen {
+		return 0
+	}
+	// partial selection sort for the chainLen smallest
+	total := 0.0
+	for i := 0; i < chainLen; i++ {
+		minIdx := i
+		for j := i + 1; j < len(costs); j++ {
+			if costs[j] < costs[minIdx] {
+				minIdx = j
+			}
+		}
+		costs[i], costs[minIdx] = costs[minIdx], costs[i]
+		total += costs[i]
+	}
+	return total
+}

@@ -1,0 +1,113 @@
+// Package costmodel implements the load-dependent convex cost function of
+// Section VII-B (Figure 7), adopted from Fortz & Thorup's OSPF weight
+// optimization [46]. The cost of a link or VM grows piecewise-linearly and
+// convexly with its utilization, exploding as load approaches and exceeds
+// capacity, which steers the embedding algorithms away from congested
+// resources in the online scenario.
+package costmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cost returns the paper's cost for current load l on a resource of
+// capacity p (Section VII-B):
+//
+//	c = l                     if l/p ≤ 1/3
+//	    3l − 2/3·p            if l/p ≤ 2/3
+//	    10l − 16/3·p          if l/p ≤ 9/10
+//	    70l − 178/3·p         if l/p ≤ 1
+//	    500l − 1468/3·p       if l/p ≤ 11/10
+//	    5000l − 16318/3·p     otherwise
+//
+// The paper prints the last offset as 14318/3, which would make the
+// function discontinuous at l/p = 11/10; the original Fortz–Thorup
+// function (and continuity) require 16318/3, so that value is used here.
+func Cost(load, capacity float64) float64 {
+	if capacity <= 0 {
+		return math.Inf(1)
+	}
+	u := load / capacity
+	switch {
+	case u <= 1.0/3.0:
+		return load
+	case u <= 2.0/3.0:
+		return 3*load - 2.0/3.0*capacity
+	case u <= 9.0/10.0:
+		return 10*load - 16.0/3.0*capacity
+	case u <= 1.0:
+		return 70*load - 178.0/3.0*capacity
+	case u <= 11.0/10.0:
+		return 500*load - 1468.0/3.0*capacity
+	default:
+		return 5000*load - 16318.0/3.0*capacity
+	}
+}
+
+// MarginalCost returns the cost increase of adding demand to the resource:
+// Cost(load+demand) − Cost(load). This is what an embedding pays for using
+// the resource.
+func MarginalCost(load, demand, capacity float64) float64 {
+	return Cost(load+demand, capacity) - Cost(load, capacity)
+}
+
+// Tracker prices a set of resources by their utilization. It backs the
+// online deployment simulator: each accepted request adds load, and costs
+// are re-derived from the new utilization.
+type Tracker struct {
+	load     []float64
+	capacity []float64
+}
+
+// NewTracker returns a tracker for n resources with the given uniform
+// capacity.
+func NewTracker(n int, capacity float64) *Tracker {
+	t := &Tracker{
+		load:     make([]float64, n),
+		capacity: make([]float64, n),
+	}
+	for i := range t.capacity {
+		t.capacity[i] = capacity
+	}
+	return t
+}
+
+// SetCapacity overrides the capacity of resource i.
+func (t *Tracker) SetCapacity(i int, c float64) { t.capacity[i] = c }
+
+// SetLoad sets the absolute load of resource i (used to seed random
+// initial utilizations in the one-time deployment scenario).
+func (t *Tracker) SetLoad(i int, l float64) { t.load[i] = l }
+
+// Load returns the current load of resource i.
+func (t *Tracker) Load(i int) float64 { return t.load[i] }
+
+// Utilization returns load/capacity of resource i.
+func (t *Tracker) Utilization(i int) float64 {
+	if t.capacity[i] <= 0 {
+		return math.Inf(1)
+	}
+	return t.load[i] / t.capacity[i]
+}
+
+// Add accumulates demand on resource i.
+func (t *Tracker) Add(i int, demand float64) { t.load[i] += demand }
+
+// Remove releases demand from resource i (teardown of a finished request).
+func (t *Tracker) Remove(i int, demand float64) error {
+	if t.load[i]-demand < -1e-9 {
+		return fmt.Errorf("costmodel: removing %v from resource %d with load %v", demand, i, t.load[i])
+	}
+	t.load[i] -= demand
+	if t.load[i] < 0 {
+		t.load[i] = 0
+	}
+	return nil
+}
+
+// Cost returns the current Fortz–Thorup cost of resource i.
+func (t *Tracker) Cost(i int) float64 { return Cost(t.load[i], t.capacity[i]) }
+
+// Len returns the number of tracked resources.
+func (t *Tracker) Len() int { return len(t.load) }

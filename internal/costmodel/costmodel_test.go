@@ -1,0 +1,114 @@
+package costmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestCostBreakpoints(t *testing.T) {
+	// Values on the paper's piecewise function with p = 1.
+	cases := []struct {
+		load, want float64
+	}{
+		{0, 0},
+		{1.0 / 3.0, 1.0 / 3.0},
+		{0.5, 3*0.5 - 2.0/3.0},
+		{2.0 / 3.0, 3*2.0/3.0 - 2.0/3.0},
+		{0.8, 10*0.8 - 16.0/3.0},
+		{0.95, 70*0.95 - 178.0/3.0},
+		{1.05, 500*1.05 - 1468.0/3.0},
+		{1.2, 5000*1.2 - 16318.0/3.0},
+	}
+	for _, c := range cases {
+		if got := Cost(c.load, 1); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("Cost(%v,1) = %v, want %v", c.load, got, c.want)
+		}
+	}
+}
+
+func TestCostContinuity(t *testing.T) {
+	// The function must be continuous at every breakpoint.
+	for _, bp := range []float64{1.0 / 3.0, 2.0 / 3.0, 9.0 / 10.0, 1.0, 11.0 / 10.0} {
+		lo := Cost(bp-1e-9, 1)
+		hi := Cost(bp+1e-9, 1)
+		if math.Abs(hi-lo) > 1e-5 {
+			t.Errorf("discontinuity at %v: %v vs %v", bp, lo, hi)
+		}
+	}
+}
+
+func TestCostMonotoneAndConvex(t *testing.T) {
+	// Property: monotone nondecreasing and convex in load.
+	f := func(a, b uint16) bool {
+		x := float64(a) / 65535.0 * 1.5
+		y := float64(b) / 65535.0 * 1.5
+		if x > y {
+			x, y = y, x
+		}
+		if Cost(x, 1) > Cost(y, 1)+1e-9 {
+			return false
+		}
+		mid := (x + y) / 2
+		return Cost(mid, 1) <= (Cost(x, 1)+Cost(y, 1))/2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCostScalesWithCapacity(t *testing.T) {
+	// Homogeneity: Cost(k·l, k·p) = k·Cost(l, p).
+	for _, u := range []float64{0.1, 0.5, 0.8, 0.95, 1.05, 1.3} {
+		c1 := Cost(u, 1)
+		c10 := Cost(10*u, 10)
+		if math.Abs(c10-10*c1) > 1e-6 {
+			t.Errorf("scaling broken at u=%v: %v vs %v", u, c10, 10*c1)
+		}
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	if !math.IsInf(Cost(1, 0), 1) {
+		t.Error("zero capacity should cost +Inf")
+	}
+}
+
+func TestMarginalCost(t *testing.T) {
+	mc := MarginalCost(0.2, 0.1, 1)
+	if math.Abs(mc-0.1) > 1e-9 {
+		t.Errorf("marginal in linear region = %v, want 0.1", mc)
+	}
+	// Crossing into a steeper region costs more than the flat region.
+	if MarginalCost(0.6, 0.2, 1) <= MarginalCost(0.1, 0.2, 1) {
+		t.Error("marginal cost should grow with load")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(3, 100)
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	tr.Add(0, 30)
+	if math.Abs(tr.Load(0)-30) > 1e-9 || math.Abs(tr.Utilization(0)-0.3) > 1e-9 {
+		t.Fatalf("load/util = %v/%v", tr.Load(0), tr.Utilization(0))
+	}
+	if math.Abs(tr.Cost(0)-30) > 1e-9 { // linear region
+		t.Fatalf("Cost = %v, want 30", tr.Cost(0))
+	}
+	if err := tr.Remove(0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr.Load(0)-20) > 1e-9 {
+		t.Fatalf("load after remove = %v", tr.Load(0))
+	}
+	if err := tr.Remove(0, 100); err == nil {
+		t.Error("over-removal accepted")
+	}
+	tr.SetCapacity(1, 10)
+	tr.SetLoad(1, 9.5)
+	if tr.Cost(1) <= tr.Cost(0) {
+		t.Error("nearly saturated resource should cost more")
+	}
+}

@@ -1,0 +1,137 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCostSweepSoftLayerWithOptimal(t *testing.T) {
+	s, err := CostSweep(NetSoftLayer, ParamDests, 1, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != len(SweepDests) {
+		t.Fatalf("rows = %d, want %d", len(s.Rows), len(SweepDests))
+	}
+	for _, r := range s.Rows {
+		sofda, ok := r.Values["SOFDA"]
+		if !ok {
+			t.Fatalf("x=%d missing SOFDA: %v", r.X, r.Values)
+		}
+		opt, ok := r.Values["OPT"]
+		if !ok {
+			// The optimal line appears only where branch-and-bound proves
+			// optimality within budget (the paper's CPLEX has the same
+			// practical limitation on larger instances).
+			continue
+		}
+		if sofda < opt-1e-6 {
+			t.Errorf("x=%d: SOFDA %.2f below the optimum %.2f", r.X, sofda, opt)
+		}
+		if sofda > 6*opt+1e-6 {
+			t.Errorf("x=%d: SOFDA %.2f above 3·ρST×OPT %.2f", r.X, sofda, 6*opt)
+		}
+	}
+	if !strings.Contains(s.Format(), "SOFDA") {
+		t.Error("Format missing algorithm header")
+	}
+}
+
+func TestCostSweepCogentChain(t *testing.T) {
+	s, err := CostSweep(NetCogent, ParamChain, 1, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Rows) != len(SweepChain) {
+		t.Fatalf("rows = %d", len(s.Rows))
+	}
+	// Cost grows with chain length (Fig. 9(d) shape).
+	first := s.Rows[0].Values["SOFDA"]
+	last := s.Rows[len(s.Rows)-1].Values["SOFDA"]
+	if last <= first {
+		t.Errorf("cost should grow with |C|: %v -> %v", first, last)
+	}
+}
+
+func TestFig11Shapes(t *testing.T) {
+	costS, vmS, err := Fig11(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig 11(a): cost grows with the setup multiplier.
+	k := "|C|=3"
+	if costS.Rows[len(costS.Rows)-1].Values[k] <= costS.Rows[0].Values[k] {
+		t.Errorf("cost did not grow with setup multiplier: %v", costS.Rows)
+	}
+	// Fig 11(b): used VMs never below the chain length.
+	for _, r := range vmS.Rows {
+		if r.Values[k] < 3 {
+			t.Errorf("used VMs %v below chain length", r.Values[k])
+		}
+	}
+}
+
+func TestTable1SmallSizes(t *testing.T) {
+	rows, err := Table1([]int{200, 400}, []int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		for s, sec := range r.Seconds {
+			if sec <= 0 {
+				t.Errorf("|V|=%d |S|=%d: non-positive runtime", r.Nodes, s)
+			}
+		}
+	}
+	if !strings.Contains(FormatTable1(rows), "|S|=2") {
+		t.Error("FormatTable1 missing header")
+	}
+}
+
+func TestFig12SoftLayerMonotone(t *testing.T) {
+	s, err := Fig12(NetSoftLayer, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, r := range s.Rows {
+		if v := r.Values["SOFDA"]; v < prev-1e-9 {
+			t.Errorf("accumulated cost decreased: %v -> %v", prev, v)
+		} else {
+			prev = v
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	rows, err := Table2(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	out := FormatTable2(rows)
+	for _, want := range []string{"SOFDA", "eNEMP", "eST"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II missing %s", want)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	s := Fig7()
+	if len(s.Rows) == 0 {
+		t.Fatal("empty series")
+	}
+	prev := -1.0
+	for _, r := range s.Rows {
+		if r.Values["cost"] < prev {
+			t.Error("cost function not monotone")
+		}
+		prev = r.Values["cost"]
+	}
+}

@@ -1,0 +1,195 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// ShortestPaths holds the single-source shortest-path tree computed by
+// Dijkstra. Distances are in total edge connection cost; node costs are not
+// included (the chain package layers setup costs on top).
+type ShortestPaths struct {
+	Source NodeID
+	// Dist[v] is the cost of the shortest path Source→v, +Inf if
+	// unreachable.
+	Dist []float64
+	// Parent[v] is the predecessor of v on the shortest path, None for the
+	// source and unreachable nodes.
+	Parent []NodeID
+	// ParentEdge[v] is the edge used to reach v from Parent[v].
+	ParentEdge []EdgeID
+}
+
+// Reachable reports whether t is reachable from the source.
+func (sp *ShortestPaths) Reachable(t NodeID) bool {
+	return !math.IsInf(sp.Dist[t], 1)
+}
+
+// PathTo returns the node sequence Source…t inclusive, or nil if t is
+// unreachable.
+func (sp *ShortestPaths) PathTo(t NodeID) []NodeID {
+	if !sp.Reachable(t) {
+		return nil
+	}
+	var rev []NodeID
+	for v := t; v != None; v = sp.Parent[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// EdgesTo returns the edge sequence of the shortest path Source…t, or nil if
+// t is unreachable. The result has len(PathTo(t))-1 entries.
+func (sp *ShortestPaths) EdgesTo(t NodeID) []EdgeID {
+	if !sp.Reachable(t) {
+		return nil
+	}
+	var rev []EdgeID
+	for v := t; sp.Parent[v] != None; v = sp.Parent[v] {
+		rev = append(rev, sp.ParentEdge[v])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type pqItem struct {
+	node NodeID
+	dist float64
+}
+
+type pq struct {
+	items []pqItem
+	// pos[v] is the index of v in items, or -1.
+	pos []int
+}
+
+func (q *pq) Len() int           { return len(q.items) }
+func (q *pq) Less(i, j int) bool { return q.items[i].dist < q.items[j].dist }
+func (q *pq) Push(x interface{}) {
+	it := x.(pqItem)
+	q.pos[it.node] = len(q.items)
+	q.items = append(q.items, it)
+}
+func (q *pq) Swap(i, j int) {
+	q.items[i], q.items[j] = q.items[j], q.items[i]
+	q.pos[q.items[i].node] = i
+	q.pos[q.items[j].node] = j
+}
+
+func (q *pq) Pop() interface{} {
+	it := q.items[len(q.items)-1]
+	q.items = q.items[:len(q.items)-1]
+	q.pos[it.node] = -1
+	return it
+}
+
+// Dijkstra computes shortest paths from src over edge connection costs.
+func Dijkstra(g *Graph, src NodeID) *ShortestPaths {
+	n := g.NumNodes()
+	sp := &ShortestPaths{
+		Source:     src,
+		Dist:       make([]float64, n),
+		Parent:     make([]NodeID, n),
+		ParentEdge: make([]EdgeID, n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = math.Inf(1)
+		sp.Parent[i] = None
+		sp.ParentEdge[i] = NoEdge
+	}
+	sp.Dist[src] = 0
+
+	q := &pq{pos: make([]int, n)}
+	for i := range q.pos {
+		q.pos[i] = -1
+	}
+	heap.Push(q, pqItem{node: src, dist: 0})
+	done := make([]bool, n)
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		du := sp.Dist[u]
+		for _, a := range g.Adj(u) {
+			v := a.To
+			if done[v] {
+				continue
+			}
+			nd := du + g.EdgeCost(a.Edge)
+			if nd < sp.Dist[v] {
+				sp.Dist[v] = nd
+				sp.Parent[v] = u
+				sp.ParentEdge[v] = a.Edge
+				if q.pos[v] >= 0 {
+					q.items[q.pos[v]].dist = nd
+					heap.Fix(q, q.pos[v])
+				} else {
+					heap.Push(q, pqItem{node: v, dist: nd})
+				}
+			}
+		}
+	}
+	return sp
+}
+
+// DijkstraAll runs Dijkstra from every node in sources and returns the trees
+// keyed by source. It is the workhorse for metric closures and auxiliary
+// graph construction.
+func DijkstraAll(g *Graph, sources []NodeID) map[NodeID]*ShortestPaths {
+	out := make(map[NodeID]*ShortestPaths, len(sources))
+	for _, s := range sources {
+		if _, ok := out[s]; ok {
+			continue
+		}
+		out[s] = Dijkstra(g, s)
+	}
+	return out
+}
+
+// BellmanFord computes single-source shortest paths by relaxation. It exists
+// as an independent oracle for property-testing Dijkstra; it is O(V·E).
+func BellmanFord(g *Graph, src NodeID) *ShortestPaths {
+	n := g.NumNodes()
+	sp := &ShortestPaths{
+		Source:     src,
+		Dist:       make([]float64, n),
+		Parent:     make([]NodeID, n),
+		ParentEdge: make([]EdgeID, n),
+	}
+	for i := range sp.Dist {
+		sp.Dist[i] = math.Inf(1)
+		sp.Parent[i] = None
+		sp.ParentEdge[i] = NoEdge
+	}
+	sp.Dist[src] = 0
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for id := 0; id < g.NumEdges(); id++ {
+			e := g.Edge(EdgeID(id))
+			if sp.Dist[e.U]+e.Cost < sp.Dist[e.V] {
+				sp.Dist[e.V] = sp.Dist[e.U] + e.Cost
+				sp.Parent[e.V] = e.U
+				sp.ParentEdge[e.V] = EdgeID(id)
+				changed = true
+			}
+			if sp.Dist[e.V]+e.Cost < sp.Dist[e.U] {
+				sp.Dist[e.U] = sp.Dist[e.V] + e.Cost
+				sp.Parent[e.U] = e.V
+				sp.ParentEdge[e.U] = EdgeID(id)
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return sp
+}

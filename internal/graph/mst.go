@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"sort"
+)
+
+// MST computes a minimum spanning tree (or forest, if g is disconnected)
+// with Kruskal's algorithm. It returns the selected edge IDs and their total
+// cost.
+func MST(g *Graph) ([]EdgeID, float64) {
+	ids := make([]EdgeID, g.NumEdges())
+	for i := range ids {
+		ids[i] = EdgeID(i)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return g.EdgeCost(ids[i]) < g.EdgeCost(ids[j])
+	})
+	uf := NewUnionFind(g.NumNodes())
+	var out []EdgeID
+	var total float64
+	for _, id := range ids {
+		e := g.Edge(id)
+		if uf.Union(int(e.U), int(e.V)) {
+			out = append(out, id)
+			total += e.Cost
+		}
+	}
+	return out, total
+}
+
+// MSTOn computes a minimum spanning tree restricted to the given node subset
+// using only edges whose endpoints both lie in the subset. It returns the
+// selected edge IDs and their total cost. Nodes absent from subset are
+// ignored entirely.
+func MSTOn(g *Graph, subset []NodeID) ([]EdgeID, float64) {
+	in := make(map[NodeID]bool, len(subset))
+	for _, n := range subset {
+		in[n] = true
+	}
+	var ids []EdgeID
+	for i := 0; i < g.NumEdges(); i++ {
+		e := g.Edge(EdgeID(i))
+		if in[e.U] && in[e.V] {
+			ids = append(ids, EdgeID(i))
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		return g.EdgeCost(ids[i]) < g.EdgeCost(ids[j])
+	})
+	uf := NewUnionFind(g.NumNodes())
+	var out []EdgeID
+	var total float64
+	for _, id := range ids {
+		e := g.Edge(id)
+		if uf.Union(int(e.U), int(e.V)) {
+			out = append(out, id)
+			total += e.Cost
+		}
+	}
+	return out, total
+}

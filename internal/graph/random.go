@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"math/rand"
+)
+
+// RandomConfig controls RandomConnected generation.
+type RandomConfig struct {
+	Nodes      int     // total node count (must be >= 1)
+	ExtraEdges int     // edges added beyond the connecting spanning tree
+	VMFraction float64 // fraction of nodes that are VMs, in [0,1]
+	MaxEdge    float64 // edge costs are uniform in (0, MaxEdge]
+	MaxSetup   float64 // VM setup costs are uniform in (0, MaxSetup]
+}
+
+// RandomConnected builds a random connected graph: a random spanning tree
+// plus ExtraEdges random chords. Generation is deterministic for a given
+// seed. It is the shared instance generator for property-based tests.
+func RandomConnected(cfg RandomConfig, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New(cfg.Nodes, cfg.Nodes+cfg.ExtraEdges)
+	for i := 0; i < cfg.Nodes; i++ {
+		if rng.Float64() < cfg.VMFraction {
+			g.AddVM("", 1+rng.Float64()*cfg.MaxSetup)
+		} else {
+			g.AddSwitch("")
+		}
+	}
+	// Random spanning tree: connect node i to a random earlier node.
+	for i := 1; i < cfg.Nodes; i++ {
+		j := rng.Intn(i)
+		g.MustAddEdge(NodeID(i), NodeID(j), 0.01+rng.Float64()*cfg.MaxEdge)
+	}
+	for k := 0; k < cfg.ExtraEdges && cfg.Nodes > 2; k++ {
+		u := rng.Intn(cfg.Nodes)
+		v := rng.Intn(cfg.Nodes)
+		if u == v {
+			continue
+		}
+		g.MustAddEdge(NodeID(u), NodeID(v), 0.01+rng.Float64()*cfg.MaxEdge)
+	}
+	return g
+}
+
+// SampleDistinct returns k distinct values drawn uniformly from pool. It
+// panics if k > len(pool). Deterministic for a given rng.
+func SampleDistinct(rng *rand.Rand, pool []NodeID, k int) []NodeID {
+	if k > len(pool) {
+		panic("graph: SampleDistinct k exceeds pool size")
+	}
+	perm := rng.Perm(len(pool))
+	out := make([]NodeID, k)
+	for i := 0; i < k; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}

@@ -1,0 +1,139 @@
+// Package ilp implements a small branch-and-bound solver for 0/1 integer
+// programs over the internal/lp simplex. Together with internal/sofip it
+// replaces CPLEX for the paper's optimal baseline on small instances.
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sof/internal/lp"
+)
+
+// Problem is a 0/1 ILP: an LP whose listed variables must be binary.
+type Problem struct {
+	// LP is the underlying relaxation (without the 0/1 bounds; the solver
+	// adds x ≤ 1 rows itself).
+	LP *lp.Problem
+	// Binary lists the variables constrained to {0,1}. Variables not
+	// listed remain continuous ≥ 0.
+	Binary []int
+	// MaxNodes bounds the branch-and-bound tree (default 200000).
+	MaxNodes int
+}
+
+// Solution is an integral solution.
+type Solution struct {
+	X         []float64
+	Objective float64
+}
+
+// ErrInfeasible is returned when no integral solution exists.
+var ErrInfeasible = errors.New("ilp: infeasible")
+
+// ErrNodeLimit is returned when the search exceeds MaxNodes.
+var ErrNodeLimit = errors.New("ilp: node limit exceeded")
+
+const intTol = 1e-6
+
+type fixing struct {
+	variable int
+	value    float64
+}
+
+// Solve runs depth-first branch-and-bound with best-incumbent pruning.
+func (p *Problem) Solve() (*Solution, error) {
+	maxNodes := p.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 200000
+	}
+	isBin := make(map[int]bool, len(p.Binary))
+	for _, v := range p.Binary {
+		if v < 0 || v >= p.LP.NumVars() {
+			return nil, fmt.Errorf("ilp: binary variable %d out of range", v)
+		}
+		isBin[v] = true
+	}
+
+	var best *Solution
+	nodes := 0
+	var rec func(fixed []fixing) error
+	rec = func(fixed []fixing) error {
+		nodes++
+		if nodes > maxNodes {
+			return ErrNodeLimit
+		}
+		rel, err := p.solveRelaxation(fixed)
+		if err != nil {
+			return err
+		}
+		if rel.Status == lp.Infeasible {
+			return nil
+		}
+		if rel.Status == lp.Unbounded {
+			return errors.New("ilp: relaxation unbounded")
+		}
+		if best != nil && rel.Objective >= best.Objective-1e-9 {
+			return nil // bound
+		}
+		// Most fractional binary variable.
+		branchVar := -1
+		worst := intTol
+		for v := range isBin {
+			frac := math.Abs(rel.X[v] - math.Round(rel.X[v]))
+			if frac > worst {
+				worst = frac
+				branchVar = v
+			}
+		}
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			x := append([]float64(nil), rel.X...)
+			for v := range isBin {
+				x[v] = math.Round(x[v])
+			}
+			best = &Solution{X: x, Objective: rel.Objective}
+			return nil
+		}
+		// Branch: explore the side suggested by the relaxation first.
+		first, second := 1.0, 0.0
+		if rel.X[branchVar] < 0.5 {
+			first, second = 0.0, 1.0
+		}
+		if err := rec(append(fixed, fixing{branchVar, first})); err != nil {
+			return err
+		}
+		return rec(append(append([]fixing(nil), fixed...), fixing{branchVar, second}))
+	}
+	if err := rec(nil); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	return best, nil
+}
+
+// solveRelaxation solves the LP with binary upper bounds and the given
+// fixings applied as equality rows.
+func (p *Problem) solveRelaxation(fixed []fixing) (*lp.Solution, error) {
+	// Rebuild the problem with the extra rows. lp.Problem has no row
+	// removal, so we recreate it; acceptable at the instance sizes the
+	// paper's optimum is computed on.
+	q := lp.NewProblem(p.LP.NumVars())
+	if err := p.LP.CopyInto(q); err != nil {
+		return nil, err
+	}
+	for _, v := range p.Binary {
+		if err := q.AddConstraint([]lp.Term{{Var: v, Coeff: 1}}, lp.LE, 1); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range fixed {
+		if err := q.AddConstraint([]lp.Term{{Var: f.variable, Coeff: 1}}, lp.EQ, f.value); err != nil {
+			return nil, err
+		}
+	}
+	return q.Solve()
+}

@@ -1,0 +1,124 @@
+package ilp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sof/internal/lp"
+)
+
+func TestKnapsack(t *testing.T) {
+	// max 10a+6b+4c st 5a+4b+3c <= 8 (binary) → minimize negative.
+	p := lp.NewProblem(3)
+	_ = p.SetObjectiveCoeff(0, -10)
+	_ = p.SetObjectiveCoeff(1, -6)
+	_ = p.SetObjectiveCoeff(2, -4)
+	_ = p.AddConstraint([]lp.Term{{Var: 0, Coeff: 5}, {Var: 1, Coeff: 4}, {Var: 2, Coeff: 3}}, lp.LE, 8)
+	sol, err := (&Problem{LP: p, Binary: []int{0, 1, 2}}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Best: a+c = value 14 (weight 8).
+	if math.Abs(sol.Objective+14) > 1e-6 {
+		t.Fatalf("objective = %v, want -14", sol.Objective)
+	}
+	if sol.X[0] != 1 || sol.X[1] != 0 || sol.X[2] != 1 {
+		t.Fatalf("x = %v, want [1 0 1]", sol.X)
+	}
+}
+
+func TestInfeasibleIP(t *testing.T) {
+	// x+y = 1.5 with x,y binary has fractional-only solutions.
+	p := lp.NewProblem(2)
+	_ = p.AddConstraint([]lp.Term{{Var: 0, Coeff: 1}, {Var: 1, Coeff: 1}}, lp.EQ, 1.5)
+	_, err := (&Problem{LP: p, Binary: []int{0, 1}}).Solve()
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMixedIntegerContinuous(t *testing.T) {
+	// min y - x_c st x_c <= 2.5, x_c <= 10*y, y binary.
+	// Taking y=1 lets x_c=2.5 → obj = 1-2.5 = -1.5.
+	p := lp.NewProblem(2)
+	_ = p.SetObjectiveCoeff(0, 1)  // y
+	_ = p.SetObjectiveCoeff(1, -1) // x_c
+	_ = p.AddConstraint([]lp.Term{{Var: 1, Coeff: 1}}, lp.LE, 2.5)
+	_ = p.AddConstraint([]lp.Term{{Var: 1, Coeff: 1}, {Var: 0, Coeff: -10}}, lp.LE, 0)
+	sol, err := (&Problem{LP: p, Binary: []int{0}}).Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective+1.5) > 1e-6 {
+		t.Fatalf("objective = %v, want -1.5", sol.Objective)
+	}
+}
+
+func TestBinaryOutOfRange(t *testing.T) {
+	p := lp.NewProblem(1)
+	if _, err := (&Problem{LP: p, Binary: []int{5}}).Solve(); err == nil {
+		t.Fatal("out-of-range binary accepted")
+	}
+}
+
+func TestNodeLimit(t *testing.T) {
+	// A problem needing some branching with an absurdly small budget.
+	p := lp.NewProblem(4)
+	for i := 0; i < 4; i++ {
+		_ = p.SetObjectiveCoeff(i, -1)
+	}
+	_ = p.AddConstraint([]lp.Term{
+		{Var: 0, Coeff: 2}, {Var: 1, Coeff: 3}, {Var: 2, Coeff: 5}, {Var: 3, Coeff: 7},
+	}, lp.LE, 8.5)
+	_, err := (&Problem{LP: p, Binary: []int{0, 1, 2, 3}, MaxNodes: 1}).Solve()
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+// TestRandomKnapsacksAgainstBruteForce cross-validates branch-and-bound on
+// random binary knapsacks against exhaustive enumeration.
+func TestRandomKnapsacksAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 25; trial++ {
+		n := 4 + rng.Intn(5)
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		terms := make([]lp.Term, n)
+		p := lp.NewProblem(n)
+		for i := 0; i < n; i++ {
+			values[i] = math.Floor(rng.Float64()*20) + 1
+			weights[i] = math.Floor(rng.Float64()*10) + 1
+			_ = p.SetObjectiveCoeff(i, -values[i])
+			terms[i] = lp.Term{Var: i, Coeff: weights[i]}
+		}
+		capacity := math.Floor(rng.Float64()*20) + 5
+		_ = p.AddConstraint(terms, lp.LE, capacity)
+		binary := make([]int, n)
+		for i := range binary {
+			binary[i] = i
+		}
+		sol, err := (&Problem{LP: p, Binary: binary}).Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		best := 0.0
+		for mask := 0; mask < 1<<n; mask++ {
+			var v, w float64
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					v += values[i]
+					w += weights[i]
+				}
+			}
+			if w <= capacity && v > best {
+				best = v
+			}
+		}
+		if math.Abs(-sol.Objective-best) > 1e-6 {
+			t.Fatalf("trial %d: B&B %v, brute force %v", trial, -sol.Objective, best)
+		}
+	}
+}

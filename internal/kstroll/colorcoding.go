@@ -1,0 +1,143 @@
+package kstroll
+
+import (
+	"math"
+	"math/rand"
+)
+
+// ColorCodingSolver solves k-stroll with Alon–Yuster–Zwick color coding:
+// each trial assigns every node one of K colors uniformly at random and a
+// DP over (color subset, node) finds the cheapest colorful path; a path with
+// K distinct colors has K distinct nodes. Each trial succeeds with
+// probability K!/K^K, so the solver is exact with high probability for
+// enough trials. Deterministic for a fixed Seed.
+type ColorCodingSolver struct {
+	// Trials is the number of random colorings (default 300 when zero).
+	Trials int
+	// Seed feeds the deterministic RNG.
+	Seed int64
+}
+
+// Name implements Solver.
+func (s *ColorCodingSolver) Name() string { return "colorcoding" }
+
+// Solve implements Solver.
+func (s *ColorCodingSolver) Solve(in *Instance) (*Walk, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if w, ok := trivial(in); ok {
+		return w, nil
+	}
+	trials := s.Trials
+	if trials == 0 {
+		trials = 300
+	}
+	rng := rand.New(rand.NewSource(s.Seed))
+	k := in.K
+	n := in.N
+	size := 1 << k
+	var best *Walk
+
+	color := make([]int, n)
+	// dp[cs][v]: cheapest path Start→v using exactly the colors in cs.
+	dp := make([][]float64, size)
+	parent := make([][]int16, size)
+	for cs := range dp {
+		dp[cs] = make([]float64, n)
+		parent[cs] = make([]int16, n)
+	}
+	for t := 0; t < trials; t++ {
+		for v := range color {
+			color[v] = rng.Intn(k)
+		}
+		// Give the endpoints fixed distinct colors to reduce wasted trials.
+		color[in.Start] = 0
+		color[in.End] = k - 1
+		for cs := 0; cs < size; cs++ {
+			for v := 0; v < n; v++ {
+				dp[cs][v] = math.Inf(1)
+				parent[cs][v] = -1
+			}
+		}
+		dp[1<<color[in.Start]][in.Start] = 0
+		for cs := 1; cs < size; cs++ {
+			for v := 0; v < n; v++ {
+				dv := dp[cs][v]
+				if math.IsInf(dv, 1) || v == in.End {
+					continue
+				}
+				for w := 0; w < n; w++ {
+					cb := 1 << color[w]
+					if cs&cb != 0 {
+						continue
+					}
+					ncs := cs | cb
+					nd := dv + in.Cost[v][w]
+					if nd < dp[ncs][w] {
+						dp[ncs][w] = nd
+						parent[ncs][w] = int16(v)
+					}
+				}
+			}
+		}
+		full := size - 1
+		if c := dp[full][in.End]; !math.IsInf(c, 1) && (best == nil || c < best.Cost) {
+			seq := reconstructColorful(parent, color, full, in.End, in.Start)
+			best = &Walk{Seq: seq, Cost: c}
+		}
+	}
+	if best == nil {
+		// Colorful path never found (unlucky colorings or K infeasible);
+		// fall back to insertion so callers always get a feasible walk when
+		// one exists.
+		return (&InsertionSolver{}).Solve(in)
+	}
+	return best, nil
+}
+
+func reconstructColorful(parent [][]int16, color []int, cs, v, start int) []int {
+	var rev []int
+	for {
+		rev = append(rev, v)
+		p := parent[cs][v]
+		if p < 0 {
+			break
+		}
+		cs ^= 1 << color[v]
+		v = int(p)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// AutoSolver picks ExactSolver for small instances and InsertionSolver
+// otherwise. It is the default used by the chain and core packages.
+type AutoSolver struct {
+	// ExactLimit is the largest N solved exactly (DefaultAutoExactLimit
+	// when zero).
+	ExactLimit int
+}
+
+// DefaultAutoExactLimit keeps the exact DP under a few milliseconds.
+const DefaultAutoExactLimit = 14
+
+// Name implements Solver.
+func (s *AutoSolver) Name() string { return "auto" }
+
+// Solve implements Solver.
+func (s *AutoSolver) Solve(in *Instance) (*Walk, error) {
+	limit := s.ExactLimit
+	if limit == 0 {
+		limit = DefaultAutoExactLimit
+	}
+	if in.N <= limit {
+		return (&ExactSolver{MaxNodes: limit}).Solve(in)
+	}
+	return (&InsertionSolver{}).Solve(in)
+}
+
+// Auto returns the default solver.
+func Auto() Solver { return &AutoSolver{} }

@@ -1,0 +1,120 @@
+package kstroll
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// DefaultExactLimit is the largest instance (node count) ExactSolver accepts
+// by default: the DP table has 2^N·N entries.
+const DefaultExactLimit = 18
+
+// ExactSolver solves k-stroll optimally with a Held–Karp-style dynamic
+// program over visited subsets: dp[mask][v] is the cheapest simple path that
+// starts at Start, visits exactly the nodes in mask, and ends at v.
+// Exponential in N; use only for small instances and as a test oracle.
+type ExactSolver struct {
+	// MaxNodes rejects instances larger than this (DefaultExactLimit when
+	// zero).
+	MaxNodes int
+}
+
+// Name implements Solver.
+func (s *ExactSolver) Name() string { return "exact" }
+
+// Solve implements Solver.
+func (s *ExactSolver) Solve(in *Instance) (*Walk, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	limit := s.MaxNodes
+	if limit == 0 {
+		limit = DefaultExactLimit
+	}
+	if in.N > limit {
+		return nil, fmt.Errorf("kstroll: exact solver limited to %d nodes, got %d", limit, in.N)
+	}
+	if w, ok := trivial(in); ok {
+		return w, nil
+	}
+
+	n := in.N
+	size := 1 << n
+	dp := make([][]float64, size)
+	parent := make([][]int8, size)
+	startBit := 1 << in.Start
+
+	dp[startBit] = newRow(n)
+	dp[startBit][in.Start] = 0
+
+	best := math.Inf(1)
+	bestMask, bestEnd := 0, -1
+	for mask := 1; mask < size; mask++ {
+		if dp[mask] == nil || mask&startBit == 0 {
+			continue
+		}
+		pc := bits.OnesCount(uint(mask))
+		if pc == in.K {
+			if mask&(1<<in.End) != 0 && dp[mask][in.End] < best {
+				best = dp[mask][in.End]
+				bestMask, bestEnd = mask, in.End
+			}
+			continue // no need to extend past K nodes in a metric instance
+		}
+		for v := 0; v < n; v++ {
+			dv := dp[mask][v]
+			if math.IsInf(dv, 1) {
+				continue
+			}
+			// End may only be the final node: do not extend paths that
+			// already pass through End.
+			if v != in.End {
+				for w := 0; w < n; w++ {
+					if mask&(1<<w) != 0 {
+						continue
+					}
+					nm := mask | 1<<w
+					nd := dv + in.Cost[v][w]
+					if dp[nm] == nil {
+						dp[nm] = newRow(n)
+						parent[nm] = make([]int8, n)
+						for i := range parent[nm] {
+							parent[nm][i] = -1
+						}
+					}
+					if nd < dp[nm][w] {
+						dp[nm][w] = nd
+						parent[nm][w] = int8(v)
+					}
+				}
+			}
+		}
+	}
+	if bestEnd < 0 {
+		return nil, ErrInfeasible
+	}
+
+	// Reconstruct.
+	seq := make([]int, 0, in.K)
+	mask, v := bestMask, bestEnd
+	for v != in.Start || bits.OnesCount(uint(mask)) > 1 {
+		seq = append(seq, v)
+		p := parent[mask][v]
+		mask ^= 1 << v
+		v = int(p)
+	}
+	seq = append(seq, in.Start)
+	for i, j := 0, len(seq)-1; i < j; i, j = i+1, j-1 {
+		seq[i], seq[j] = seq[j], seq[i]
+	}
+	return &Walk{Seq: seq, Cost: best}, nil
+}
+
+func newRow(n int) []float64 {
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = math.Inf(1)
+	}
+	return row
+}

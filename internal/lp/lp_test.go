@@ -1,0 +1,268 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func solveOrFatal(t *testing.T, p *Problem) *Solution {
+	t.Helper()
+	s, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSimpleLE(t *testing.T) {
+	// min -x-y st x+y<=4, x<=2 → x=2,y=2, obj=-4.
+	p := NewProblem(2)
+	_ = p.SetObjectiveCoeff(0, -1)
+	_ = p.SetObjectiveCoeff(1, -1)
+	_ = p.AddConstraint([]Term{{0, 1}, {1, 1}}, LE, 4)
+	_ = p.AddConstraint([]Term{{0, 1}}, LE, 2)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status = %v", s.Status)
+	}
+	if math.Abs(s.Objective+4) > 1e-7 {
+		t.Fatalf("objective = %v, want -4", s.Objective)
+	}
+}
+
+func TestEqualityAndGE(t *testing.T) {
+	// min 2x+3y st x+y=10, x>=3 → x=10? no: min prefers x big (coeff 2<3):
+	// x=10,y=0 violates x>=3? no, 10>=3 ok → obj=20.
+	p := NewProblem(2)
+	_ = p.SetObjectiveCoeff(0, 2)
+	_ = p.SetObjectiveCoeff(1, 3)
+	_ = p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 10)
+	_ = p.AddConstraint([]Term{{0, 1}}, GE, 3)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-20) > 1e-7 {
+		t.Fatalf("got %v obj %v, want optimal 20", s.Status, s.Objective)
+	}
+	if math.Abs(s.X[0]-10) > 1e-7 || math.Abs(s.X[1]) > 1e-7 {
+		t.Fatalf("x = %v, want [10 0]", s.X)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	p := NewProblem(1)
+	_ = p.AddConstraint([]Term{{0, 1}}, GE, 5)
+	_ = p.AddConstraint([]Term{{0, 1}}, LE, 3)
+	s := solveOrFatal(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status = %v, want infeasible", s.Status)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	p := NewProblem(1)
+	_ = p.SetObjectiveCoeff(0, -1)
+	s := solveOrFatal(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", s.Status)
+	}
+}
+
+func TestNegativeRHS(t *testing.T) {
+	// min x st -x <= -5  (i.e. x >= 5) → 5.
+	p := NewProblem(1)
+	_ = p.SetObjectiveCoeff(0, 1)
+	_ = p.AddConstraint([]Term{{0, -1}}, LE, -5)
+	s := solveOrFatal(t, p)
+	if s.Status != Optimal || math.Abs(s.Objective-5) > 1e-7 {
+		t.Fatalf("got %v obj %v, want 5", s.Status, s.Objective)
+	}
+}
+
+func TestDegenerateTransportation(t *testing.T) {
+	// Classic 2x2 transportation problem.
+	// min 4a+6b+5c+3d st a+b=10, c+d=15, a+c=12, b+d=13.
+	p := NewProblem(4)
+	for i, c := range []float64{4, 6, 5, 3} {
+		_ = p.SetObjectiveCoeff(i, c)
+	}
+	_ = p.AddConstraint([]Term{{0, 1}, {1, 1}}, EQ, 10)
+	_ = p.AddConstraint([]Term{{2, 1}, {3, 1}}, EQ, 15)
+	_ = p.AddConstraint([]Term{{0, 1}, {2, 1}}, EQ, 12)
+	_ = p.AddConstraint([]Term{{1, 1}, {3, 1}}, EQ, 13)
+	s := solveOrFatal(t, p)
+	// Optimal: a=10,c=2,d=13 → 40+10+39=89.
+	if s.Status != Optimal || math.Abs(s.Objective-89) > 1e-6 {
+		t.Fatalf("got %v obj %v, want 89", s.Status, s.Objective)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	p := NewProblem(2)
+	if err := p.SetObjectiveCoeff(5, 1); err == nil {
+		t.Error("bad objective var accepted")
+	}
+	if err := p.AddConstraint([]Term{{9, 1}}, LE, 1); err == nil {
+		t.Error("bad constraint var accepted")
+	}
+	if err := p.AddConstraint([]Term{{0, math.NaN()}}, LE, 1); err == nil {
+		t.Error("NaN coefficient accepted")
+	}
+	if err := p.AddConstraint([]Term{{0, 1}}, Sense(9), 1); err == nil {
+		t.Error("bad sense accepted")
+	}
+}
+
+func TestCopyInto(t *testing.T) {
+	p := NewProblem(2)
+	_ = p.SetObjectiveCoeff(0, 1)
+	_ = p.AddConstraint([]Term{{0, 1}, {1, 1}}, GE, 2)
+	q := NewProblem(2)
+	if err := p.CopyInto(q); err != nil {
+		t.Fatal(err)
+	}
+	s := solveOrFatal(t, q)
+	if s.Status != Optimal || math.Abs(s.Objective) > 1e-7 {
+		t.Fatalf("copy solve: %v obj %v, want 0 (x1 free to satisfy)", s.Status, s.Objective)
+	}
+	bad := NewProblem(3)
+	if err := p.CopyInto(bad); err == nil {
+		t.Error("size mismatch accepted")
+	}
+}
+
+// TestRandomAgainstVertexEnumeration cross-checks simplex on random small
+// LPs against brute-force vertex enumeration.
+func TestRandomAgainstVertexEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(2) // 2-3 vars
+		m := 3 + rng.Intn(3) // 3-5 constraints
+		p := NewProblem(n)
+		obj := make([]float64, n)
+		for i := range obj {
+			obj[i] = math.Floor(rng.Float64()*10) + 1 // positive → bounded
+			_ = p.SetObjectiveCoeff(i, obj[i])
+		}
+		rowsA := make([][]float64, m)
+		rowsB := make([]float64, m)
+		for i := 0; i < m; i++ {
+			rowsA[i] = make([]float64, n)
+			terms := make([]Term, n)
+			for j := 0; j < n; j++ {
+				rowsA[i][j] = math.Floor(rng.Float64()*5) + 1
+				terms[j] = Term{Var: j, Coeff: rowsA[i][j]}
+			}
+			rowsB[i] = math.Floor(rng.Float64()*20) + 5
+			_ = p.AddConstraint(terms, GE, rowsB[i]) // cover constraints → feasible, bounded
+		}
+		s := solveOrFatal(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		want := enumerateMin(obj, rowsA, rowsB)
+		if math.Abs(s.Objective-want) > 1e-5 {
+			t.Fatalf("trial %d: simplex %v, enumeration %v", trial, s.Objective, want)
+		}
+	}
+}
+
+// enumerateMin brute-forces min cᵀx st Ax ≥ b, x ≥ 0 by enumerating basic
+// solutions of all active-set combinations (n ≤ 3).
+func enumerateMin(c []float64, a [][]float64, b []float64) float64 {
+	n := len(c)
+	m := len(a)
+	// Candidate constraint set: rows (as equalities) plus axes x_j = 0.
+	var eqns []eqn
+	for i := 0; i < m; i++ {
+		eqns = append(eqns, eqn{a[i], b[i]})
+	}
+	for j := 0; j < n; j++ {
+		axis := make([]float64, n)
+		axis[j] = 1
+		eqns = append(eqns, eqn{axis, 0})
+	}
+	best := math.Inf(1)
+	idx := make([]int, n)
+	var rec func(start, k int)
+	rec = func(start, k int) {
+		if k == n {
+			x, ok := solveSquare(eqns, idx, n)
+			if !ok {
+				return
+			}
+			for j := 0; j < n; j++ {
+				if x[j] < -1e-7 {
+					return
+				}
+			}
+			for i := 0; i < m; i++ {
+				lhs := 0.0
+				for j := 0; j < n; j++ {
+					lhs += a[i][j] * x[j]
+				}
+				if lhs < b[i]-1e-7 {
+					return
+				}
+			}
+			obj := 0.0
+			for j := 0; j < n; j++ {
+				obj += c[j] * x[j]
+			}
+			if obj < best {
+				best = obj
+			}
+			return
+		}
+		for i := start; i < len(eqns); i++ {
+			idx[k] = i
+			rec(i+1, k+1)
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+type eqn struct {
+	coef []float64
+	rhs  float64
+}
+
+// solveSquare solves the n×n system picked by idx with Gaussian
+// elimination; ok=false when singular.
+func solveSquare(eqns []eqn, idx []int, n int) ([]float64, bool) {
+	a := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		a[i] = append(append([]float64(nil), eqns[idx[i]].coef...), eqns[idx[i]].rhs)
+	}
+	for col := 0; col < n; col++ {
+		piv := -1
+		for r := col; r < n; r++ {
+			if math.Abs(a[r][col]) > 1e-9 {
+				piv = r
+				break
+			}
+		}
+		if piv < 0 {
+			return nil, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		f := a[col][col]
+		for k := col; k <= n; k++ {
+			a[col][k] /= f
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col]
+			for k := col; k <= n; k++ {
+				a[r][k] -= f * a[col][k]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = a[i][n]
+	}
+	return x, true
+}

@@ -1,0 +1,211 @@
+// Package online implements the online deployment scenario of Section
+// VIII-C: requests arrive sequentially, each is embedded by a chosen
+// algorithm under the current load-dependent costs, the accepted forest's
+// demand is added to the links and VMs it uses, and all costs are re-priced
+// with the Fortz–Thorup function before the next arrival. The accumulated
+// cost curve reproduces Figure 12.
+package online
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sof/internal/baseline"
+	"sof/internal/core"
+	"sof/internal/costmodel"
+	"sof/internal/graph"
+	"sof/internal/topology"
+)
+
+// Algorithm names an embedding algorithm for the simulator.
+type Algorithm string
+
+// Supported algorithms.
+const (
+	AlgoSOFDA Algorithm = "SOFDA"
+	AlgoENEMP Algorithm = "eNEMP"
+	AlgoEST   Algorithm = "eST"
+	AlgoST    Algorithm = "ST"
+)
+
+// Embed runs the named algorithm.
+func Embed(algo Algorithm, g *graph.Graph, req core.Request, opts *core.Options) (*core.Forest, error) {
+	switch algo {
+	case AlgoSOFDA:
+		return core.SOFDA(g, req, opts)
+	case AlgoENEMP:
+		return baseline.ENEMP(g, req, opts)
+	case AlgoEST:
+		return baseline.EST(g, req, opts)
+	case AlgoST:
+		return baseline.ST(g, req, opts)
+	default:
+		return nil, fmt.Errorf("online: unknown algorithm %q", algo)
+	}
+}
+
+// Config parameterizes a simulation run.
+type Config struct {
+	// LinkCapacity and demand follow Section VIII-A: 100 Mbps links,
+	// 5 Mbps per request.
+	LinkCapacity float64
+	Demand       float64
+	// VMCapacity bounds VNF instances per VM host slot.
+	VMCapacity float64
+	// SrcRange and DstRange bound the per-request source/destination
+	// counts (inclusive), drawn uniformly.
+	SrcRange [2]int
+	DstRange [2]int
+	// ChainLen is the demanded services per request (3 in the paper).
+	ChainLen int
+	Seed     int64
+}
+
+// DefaultSoftLayerConfig mirrors the paper's SoftLayer online setup.
+func DefaultSoftLayerConfig() Config {
+	return Config{
+		LinkCapacity: 100, Demand: 5, VMCapacity: 10,
+		SrcRange: [2]int{8, 12}, DstRange: [2]int{13, 17},
+		ChainLen: 3,
+	}
+}
+
+// DefaultCogentConfig mirrors the paper's Cogent online setup.
+func DefaultCogentConfig() Config {
+	return Config{
+		LinkCapacity: 100, Demand: 5, VMCapacity: 10,
+		SrcRange: [2]int{10, 30}, DstRange: [2]int{20, 60},
+		ChainLen: 3,
+	}
+}
+
+// Result is one step of the simulation.
+type Result struct {
+	Request     int
+	Cost        float64
+	Accumulated float64
+	Trees       int
+	UsedVMs     int
+	Rejected    bool
+}
+
+// Simulator owns the network state: per-link and per-VM load trackers and
+// the request stream.
+type Simulator struct {
+	net  *topology.Network
+	cfg  Config
+	algo Algorithm
+	rng  *rand.Rand
+
+	linkLoad *costmodel.Tracker
+	vmLoad   *costmodel.Tracker
+	vmIndex  map[graph.NodeID]int
+
+	accumulated float64
+	step        int
+}
+
+// NewSimulator builds a simulator over net. The network starts unloaded
+// (Section VIII-A: "the node/link usages are zero initially").
+func NewSimulator(net *topology.Network, algo Algorithm, cfg Config) *Simulator {
+	s := &Simulator{
+		net:      net,
+		cfg:      cfg,
+		algo:     algo,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		linkLoad: costmodel.NewTracker(net.G.NumEdges(), cfg.LinkCapacity),
+		vmLoad:   costmodel.NewTracker(len(net.VMs), cfg.VMCapacity),
+		vmIndex:  make(map[graph.NodeID]int, len(net.VMs)),
+	}
+	for i, v := range net.VMs {
+		s.vmIndex[v] = i
+	}
+	s.reprice()
+	return s
+}
+
+// reprice rewrites every edge and VM cost from its current load.
+func (s *Simulator) reprice() {
+	for e := 0; e < s.net.G.NumEdges(); e++ {
+		s.net.G.SetEdgeCost(graph.EdgeID(e), costmodel.MarginalCost(s.linkLoad.Load(e), s.cfg.Demand, s.cfg.LinkCapacity))
+	}
+	for i, v := range s.net.VMs {
+		s.net.G.SetNodeCost(v, costmodel.MarginalCost(s.vmLoad.Load(i), 1, s.cfg.VMCapacity))
+	}
+}
+
+// Step generates and embeds the next request, updates loads and prices, and
+// returns the step result. A request that cannot be embedded is reported
+// as rejected (its cost does not accumulate).
+func (s *Simulator) Step() Result {
+	s.step++
+	nSrc := s.cfg.SrcRange[0] + s.rng.Intn(s.cfg.SrcRange[1]-s.cfg.SrcRange[0]+1)
+	nDst := s.cfg.DstRange[0] + s.rng.Intn(s.cfg.DstRange[1]-s.cfg.DstRange[0]+1)
+	if nSrc > len(s.net.Access) {
+		nSrc = len(s.net.Access)
+	}
+	if nDst > len(s.net.Access) {
+		nDst = len(s.net.Access)
+	}
+	req := core.Request{
+		Sources:  s.net.RandomNodes(s.rng, nSrc),
+		Dests:    s.net.RandomNodes(s.rng, nDst),
+		ChainLen: s.cfg.ChainLen,
+	}
+	forest, err := Embed(s.algo, s.net.G, req, &core.Options{VMs: s.net.VMs})
+	if err != nil {
+		return Result{Request: s.step, Rejected: true, Accumulated: s.accumulated}
+	}
+	res := Result{
+		Request: s.step,
+		Cost:    forest.TotalCost(),
+		Trees:   forest.NumTrees(),
+		UsedVMs: len(forest.UsedVMs()),
+	}
+	s.apply(forest)
+	s.accumulated += res.Cost
+	res.Accumulated = s.accumulated
+	s.reprice()
+	return res
+}
+
+// apply adds the forest's demand to the trackers: every clone's parent link
+// carries the stream once, every enabled VM hosts one VNF instance.
+func (s *Simulator) apply(f *core.Forest) {
+	for _, e := range forestEdges(f) {
+		s.linkLoad.Add(int(e), s.cfg.Demand)
+	}
+	for _, v := range f.UsedVMs() {
+		if i, ok := s.vmIndex[v]; ok {
+			s.vmLoad.Add(i, 1)
+		}
+	}
+}
+
+// forestEdges lists the edge instances used by the forest (with
+// multiplicity: a duplicated link carries the stream once per clone).
+func forestEdges(f *core.Forest) []graph.EdgeID {
+	var out []graph.EdgeID
+	for id := 0; id < f.NumClones(); id++ {
+		c := f.Clone(core.CloneID(id))
+		if f.CloneDeleted(core.CloneID(id)) {
+			continue
+		}
+		if c.Parent != core.NoClone && c.ParentEdge != graph.NoEdge {
+			out = append(out, c.ParentEdge)
+		}
+	}
+	return out
+}
+
+// Run executes n steps and returns their results.
+func (s *Simulator) Run(n int) []Result {
+	out := make([]Result, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.Step())
+	}
+	return out
+}
+
+// Accumulated returns the total accepted cost so far.
+func (s *Simulator) Accumulated() float64 { return s.accumulated }

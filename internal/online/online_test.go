@@ -1,0 +1,114 @@
+package online
+
+import (
+	"testing"
+
+	"sof/internal/core"
+	"sof/internal/graph"
+	"sof/internal/topology"
+)
+
+func smallConfig() Config {
+	return Config{
+		LinkCapacity: 100, Demand: 5, VMCapacity: 10,
+		SrcRange: [2]int{2, 4}, DstRange: [2]int{2, 4},
+		ChainLen: 2, Seed: 1,
+	}
+}
+
+func TestSimulatorAccumulates(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 1})
+	sim := NewSimulator(net, AlgoSOFDA, smallConfig())
+	results := sim.Run(5)
+	if len(results) != 5 {
+		t.Fatalf("got %d results", len(results))
+	}
+	prev := 0.0
+	for i, r := range results {
+		if r.Rejected {
+			continue
+		}
+		if r.Cost <= 0 {
+			t.Errorf("step %d: non-positive cost %v", i, r.Cost)
+		}
+		if r.Accumulated < prev-1e-9 {
+			t.Errorf("step %d: accumulated decreased %v -> %v", i, prev, r.Accumulated)
+		}
+		prev = r.Accumulated
+	}
+	if sim.Accumulated() != prev {
+		t.Errorf("Accumulated() = %v, want %v", sim.Accumulated(), prev)
+	}
+}
+
+func TestLoadRaisesPrices(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 2})
+	sim := NewSimulator(net, AlgoSOFDA, smallConfig())
+	// After repricing an unloaded network, marginal link costs are in the
+	// linear region: exactly the demand.
+	firstCost := net.G.EdgeCost(0)
+	if firstCost != 5 {
+		t.Fatalf("unloaded marginal cost = %v, want 5", firstCost)
+	}
+	res := sim.Run(12)
+	var grew bool
+	for e := 0; e < net.G.NumEdges(); e++ {
+		if net.G.EdgeCost(graph.EdgeID(e)) > firstCost+1e-9 {
+			grew = true
+			break
+		}
+	}
+	if !grew {
+		accepted := 0
+		for _, r := range res {
+			if !r.Rejected {
+				accepted++
+			}
+		}
+		t.Errorf("no link got more expensive after %d accepted requests", accepted)
+	}
+}
+
+func TestAllAlgorithmsRunOnline(t *testing.T) {
+	for _, algo := range []Algorithm{AlgoSOFDA, AlgoENEMP, AlgoEST, AlgoST} {
+		net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 3})
+		sim := NewSimulator(net, algo, smallConfig())
+		res := sim.Run(3)
+		for _, r := range res {
+			if r.Rejected {
+				t.Errorf("%s rejected request %d on an empty network", algo, r.Request)
+			}
+		}
+	}
+}
+
+func TestEmbedUnknownAlgorithm(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 5, Seed: 4})
+	req := core.Request{Sources: net.Access[:1], Dests: net.Access[1:2], ChainLen: 1}
+	if _, err := Embed("nope", net.G, req, nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+// TestSOFDAAccumulatesLessThanBaselines mirrors Figure 12's claim on a
+// short prefix of the arrival sequence.
+func TestSOFDAAccumulatesLessThanBaselines(t *testing.T) {
+	totals := map[Algorithm]float64{}
+	for _, algo := range []Algorithm{AlgoSOFDA, AlgoEST, AlgoST} {
+		net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 5})
+		cfg := smallConfig()
+		cfg.Seed = 5    // identical request stream for all algorithms
+		cfg.Demand = 20 // push links into the convex region quickly
+		sim := NewSimulator(net, algo, cfg)
+		sim.Run(12)
+		totals[algo] = sim.Accumulated()
+	}
+	t.Logf("accumulated: SOFDA=%.1f eST=%.1f ST=%.1f",
+		totals[AlgoSOFDA], totals[AlgoEST], totals[AlgoST])
+	// Figure 12 shape: SOFDA's accumulated cost stays below the single-
+	// tree baseline once congestion pricing matters (small tolerance for
+	// tie-breaking noise on the early flat region).
+	if totals[AlgoSOFDA] > totals[AlgoST]*1.02 {
+		t.Errorf("SOFDA accumulated %v exceeds ST %v", totals[AlgoSOFDA], totals[AlgoST])
+	}
+}

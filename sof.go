@@ -1,0 +1,228 @@
+// Package sof is the public API of the Service Overlay Forest library, a
+// reproduction of "Service Overlay Forest Embedding for Software-Defined
+// Cloud Networks" (Kuo et al., ICDCS 2017).
+//
+// A service overlay forest connects every destination of a multicast
+// service to a source through an ordered chain of virtual network
+// functions, using multiple trees when that is cheaper. The package wraps
+// the internal solvers behind a small surface:
+//
+//	b := sof.NewNetworkBuilder()
+//	s := b.AddSwitch("src")
+//	v1 := b.AddVM("vm1", 2)
+//	v2 := b.AddVM("vm2", 3)
+//	d := b.AddSwitch("dst")
+//	b.Link(s, v1, 1); b.Link(v1, v2, 1); b.Link(v2, d, 1)
+//	net := b.Build()
+//	forest, _ := net.Embed(sof.Request{
+//		Sources: []sof.NodeID{s}, Destinations: []sof.NodeID{d}, ChainLength: 2,
+//	}, sof.AlgorithmSOFDA)
+//	fmt.Println(forest.TotalCost())
+//
+// Algorithms: SOFDA (the paper's 3ρST-approximation), SOFDASS (single
+// source), the baselines eNEMP/eST/ST, and Exact (optimal, small instances
+// only). Dynamic operations (join/leave/VNF changes) are exposed on the
+// Forest type.
+package sof
+
+import (
+	"errors"
+	"fmt"
+
+	"sof/internal/baseline"
+	"sof/internal/chain"
+	"sof/internal/core"
+	"sof/internal/graph"
+	"sof/internal/sofexact"
+)
+
+// NodeID identifies a node in a Network.
+type NodeID = graph.NodeID
+
+// EdgeID identifies a link in a Network.
+type EdgeID = graph.EdgeID
+
+// Algorithm selects an embedding algorithm.
+type Algorithm string
+
+// Available algorithms.
+const (
+	AlgorithmSOFDA   Algorithm = "SOFDA"
+	AlgorithmSOFDASS Algorithm = "SOFDA-SS"
+	AlgorithmENEMP   Algorithm = "eNEMP"
+	AlgorithmEST     Algorithm = "eST"
+	AlgorithmST      Algorithm = "ST"
+	AlgorithmExact   Algorithm = "Exact"
+)
+
+// Request is an embedding request: all destinations demand the same
+// ordered chain of ChainLength VNFs, served from any subset of Sources.
+type Request struct {
+	Sources      []NodeID
+	Destinations []NodeID
+	ChainLength  int
+}
+
+// NetworkBuilder assembles a Network.
+type NetworkBuilder struct {
+	g   *graph.Graph
+	err error
+}
+
+// NewNetworkBuilder returns an empty builder.
+func NewNetworkBuilder() *NetworkBuilder {
+	return &NetworkBuilder{g: graph.New(16, 32)}
+}
+
+// AddSwitch adds a forwarding-only node.
+func (b *NetworkBuilder) AddSwitch(name string) NodeID { return b.g.AddSwitch(name) }
+
+// AddVM adds a node able to host one VNF at the given setup cost.
+func (b *NetworkBuilder) AddVM(name string, setupCost float64) NodeID {
+	return b.g.AddVM(name, setupCost)
+}
+
+// Link connects two nodes with the given connection cost.
+func (b *NetworkBuilder) Link(u, v NodeID, cost float64) EdgeID {
+	id, err := b.g.AddEdge(u, v, cost)
+	if err != nil && b.err == nil {
+		b.err = err
+	}
+	return id
+}
+
+// Build finalizes the network. It returns an error if any Link call was
+// invalid or the graph fails validation.
+func (b *NetworkBuilder) Build() (*Network, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.g.Validate(); err != nil {
+		return nil, err
+	}
+	return &Network{g: b.g}, nil
+}
+
+// Network is an immutable-topology network (costs may be updated).
+type Network struct {
+	g *graph.Graph
+}
+
+// FromGraph wraps an existing internal graph (used by the example
+// programs and the experiment harness).
+func FromGraph(g *graph.Graph) *Network { return &Network{g: g} }
+
+// Graph exposes the underlying graph for advanced use.
+func (n *Network) Graph() *graph.Graph { return n.g }
+
+// SetLinkCost updates a link's connection cost.
+func (n *Network) SetLinkCost(e EdgeID, cost float64) { n.g.SetEdgeCost(e, cost) }
+
+// SetVMCost updates a VM's setup cost.
+func (n *Network) SetVMCost(v NodeID, cost float64) { n.g.SetNodeCost(v, cost) }
+
+// VMs lists the VM nodes.
+func (n *Network) VMs() []NodeID { return n.g.VMs() }
+
+// Embed computes a service overlay forest for the request.
+func (n *Network) Embed(req Request, algo Algorithm) (*Forest, error) {
+	creq := core.Request{Sources: req.Sources, Dests: req.Destinations, ChainLen: req.ChainLength}
+	var (
+		f   *core.Forest
+		err error
+	)
+	switch algo {
+	case AlgorithmSOFDA:
+		f, err = core.SOFDA(n.g, creq, nil)
+	case AlgorithmSOFDASS:
+		if len(req.Sources) != 1 {
+			return nil, errors.New("sof: SOFDA-SS requires exactly one source")
+		}
+		f, err = core.SOFDASS(n.g, req.Sources[0], req.Destinations, req.ChainLength, nil)
+	case AlgorithmENEMP:
+		f, err = baseline.ENEMP(n.g, creq, nil)
+	case AlgorithmEST:
+		f, err = baseline.EST(n.g, creq, nil)
+	case AlgorithmST:
+		f, err = baseline.ST(n.g, creq, nil)
+	case AlgorithmExact:
+		f, err = sofexact.Solve(n.g, creq, nil)
+	default:
+		return nil, fmt.Errorf("sof: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Forest{
+		f:      f,
+		net:    n,
+		req:    creq,
+		oracle: chain.NewOracle(n.g, chain.Options{}),
+	}, nil
+}
+
+// Forest is an embedded service overlay forest with its dynamic
+// reconfiguration operations (Section VII-C of the paper).
+type Forest struct {
+	f      *core.Forest
+	net    *Network
+	req    core.Request
+	oracle *chain.Oracle
+}
+
+// TotalCost returns setup + connection cost.
+func (f *Forest) TotalCost() float64 { return f.f.TotalCost() }
+
+// Cost returns the setup and connection costs separately.
+func (f *Forest) Cost() (setup, connection float64) { return f.f.Cost() }
+
+// Trees returns the number of service trees in the forest.
+func (f *Forest) Trees() int { return f.f.NumTrees() }
+
+// UsedVMs returns the VMs running a VNF.
+func (f *Forest) UsedVMs() []NodeID { return f.f.UsedVMs() }
+
+// Destinations returns the currently served destinations.
+func (f *Forest) Destinations() []NodeID { return f.f.Destinations() }
+
+// Validate re-checks feasibility for the forest's current destinations.
+func (f *Forest) Validate() error {
+	return f.f.Validate(f.req.Sources, f.f.Destinations())
+}
+
+// Join grafts a new destination onto the forest at minimum extension cost,
+// returning the cost increase.
+func (f *Forest) Join(d NodeID) (float64, error) {
+	f.oracle.InvalidateCache()
+	return f.f.Join(f.oracle, f.net.g.VMs(), d)
+}
+
+// Leave removes a destination, pruning the branch it exclusively used, and
+// returns the (non-positive) cost change.
+func (f *Forest) Leave(d NodeID) (float64, error) { return f.f.Leave(d) }
+
+// InsertVNF adds a VNF at 1-based chain position j.
+func (f *Forest) InsertVNF(j int) error {
+	f.oracle.InvalidateCache()
+	return f.f.InsertVNF(f.oracle, f.net.g.VMs(), j)
+}
+
+// RemoveVNF deletes the VNF at 1-based chain position j.
+func (f *Forest) RemoveVNF(j int) error { return f.f.RemoveVNF(j) }
+
+// RerouteCongestedLink re-routes every forest segment using link e over
+// the current cheapest paths; update costs first.
+func (f *Forest) RerouteCongestedLink(e EdgeID) (int, error) {
+	f.oracle.InvalidateCache()
+	return f.f.RerouteCongestedEdge(f.oracle, e)
+}
+
+// MigrateVM moves the VNF off an overloaded VM to the best replacement;
+// update costs first.
+func (f *Forest) MigrateVM(v NodeID) error {
+	f.oracle.InvalidateCache()
+	return f.f.MigrateOverloadedVM(f.oracle, f.net.g.VMs(), v)
+}
+
+// Internal returns the underlying core forest for advanced inspection.
+func (f *Forest) Internal() *core.Forest { return f.f }

@@ -1,0 +1,109 @@
+package sof
+
+import (
+	"math"
+	"testing"
+)
+
+func buildLine(t *testing.T) (*Network, NodeID, NodeID) {
+	t.Helper()
+	b := NewNetworkBuilder()
+	s := b.AddSwitch("s")
+	v1 := b.AddVM("v1", 2)
+	v2 := b.AddVM("v2", 3)
+	d := b.AddSwitch("d")
+	b.Link(s, v1, 1)
+	b.Link(v1, v2, 1)
+	b.Link(v2, d, 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, s, d
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	net, s, d := buildLine(t)
+	for _, algo := range []Algorithm{AlgorithmSOFDA, AlgorithmSOFDASS, AlgorithmENEMP, AlgorithmEST, AlgorithmST, AlgorithmExact} {
+		f, err := net.Embed(Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2}, algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if err := f.Validate(); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		switch algo {
+		case AlgorithmSOFDA, AlgorithmSOFDASS, AlgorithmExact:
+			if math.Abs(f.TotalCost()-8) > 1e-9 {
+				t.Errorf("%s cost = %v, want 8", algo, f.TotalCost())
+			}
+		default:
+			// Baselines keep their source-rooted tree branch and may pay
+			// more, but never less than the optimum.
+			if f.TotalCost() < 8-1e-9 {
+				t.Errorf("%s cost = %v, below the optimum 8", algo, f.TotalCost())
+			}
+		}
+		if f.Trees() != 1 || len(f.UsedVMs()) != 2 {
+			t.Errorf("%s: trees=%d vms=%d", algo, f.Trees(), len(f.UsedVMs()))
+		}
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	net, s, d := buildLine(t)
+	if _, err := net.Embed(Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2}, "nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := net.Embed(Request{Sources: []NodeID{s, d}, Destinations: []NodeID{d}, ChainLength: 1}, AlgorithmSOFDASS); err == nil {
+		t.Error("SOFDA-SS with two sources accepted")
+	}
+	b := NewNetworkBuilder()
+	a := b.AddSwitch("a")
+	b.Link(a, a, 1)
+	if _, err := b.Build(); err == nil {
+		t.Error("self-loop accepted by builder")
+	}
+}
+
+func TestPublicAPIDynamics(t *testing.T) {
+	b := NewNetworkBuilder()
+	s := b.AddSwitch("s")
+	v1 := b.AddVM("v1", 1)
+	v2 := b.AddVM("v2", 1)
+	v3 := b.AddVM("v3", 1)
+	mid := b.AddSwitch("mid")
+	d1 := b.AddSwitch("d1")
+	d2 := b.AddSwitch("d2")
+	b.Link(s, v1, 1)
+	b.Link(v1, v2, 1)
+	b.Link(v2, mid, 1)
+	b.Link(mid, d1, 1)
+	b.Link(mid, d2, 1)
+	b.Link(v1, v3, 1)
+	b.Link(v3, mid, 2)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := net.Embed(Request{Sources: []NodeID{s}, Destinations: []NodeID{d1}, ChainLength: 2}, AlgorithmSOFDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta, err := f.Join(d2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta <= 0 {
+		t.Errorf("join delta = %v", delta)
+	}
+	if _, err := f.Leave(d1); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f.Destinations()); got != 1 {
+		t.Fatalf("destinations = %d, want 1", got)
+	}
+}
