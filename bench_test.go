@@ -5,13 +5,17 @@
 package sof
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"sof/internal/baseline"
+	"sof/internal/chain"
 	"sof/internal/core"
 	"sof/internal/costmodel"
+	"sof/internal/dist"
 	"sof/internal/emu"
 	"sof/internal/exp"
 	"sof/internal/online"
@@ -146,6 +150,93 @@ func BenchmarkTable1Runtime(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.SOFDA(net.G, req, &core.Options{VMs: net.VMs}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCandidateGeneration measures the candidate-chain fan-out of
+// Procedure 3 (all |S|·|M| (source, last VM) pairs) sequentially versus on
+// the full worker pool. The par1/parN wall-clock ratio is the headline
+// speedup of the concurrent pipeline; a fresh oracle per iteration makes
+// every run pay the Dijkstra-tree build, as a cold embedding would.
+func BenchmarkCandidateGeneration(b *testing.B) {
+	net := topology.Cogent(topology.Config{NumVMs: exp.DefaultVMs, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	sources := net.RandomNodes(rng, exp.DefaultSources)
+	pairs := chain.Pairs(sources, net.VMs)
+	for _, par := range parallelismLevels() {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				oracle := chain.NewOracle(net.G, chain.Options{})
+				results, err := oracle.Chains(context.Background(), net.VMs, pairs, exp.DefaultChain, par)
+				if err != nil {
+					b.Fatal(err)
+				}
+				feasible := 0
+				for _, r := range results {
+					if r.Err == nil {
+						feasible++
+					}
+				}
+				if feasible == 0 {
+					b.Fatal("no feasible candidate chain")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSOFDAParallelism measures the end-to-end SOFDA embedding at
+// Parallelism 1 versus the full worker pool on Cogent (the Steiner and
+// assembly phases are shared, so the delta isolates the candidate stage).
+func BenchmarkSOFDAParallelism(b *testing.B) {
+	net := topology.Cogent(topology.Config{NumVMs: exp.DefaultVMs, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	req := core.Request{
+		Sources:  net.RandomNodes(rng, exp.DefaultSources),
+		Dests:    net.RandomNodes(rng, exp.DefaultDests),
+		ChainLen: exp.DefaultChain,
+	}
+	for _, par := range parallelismLevels() {
+		b.Run(fmt.Sprintf("par%d", par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SOFDA(net.G, req, &core.Options{VMs: net.VMs, Parallelism: par}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// parallelismLevels is {1, NumCPU}, collapsed on single-core machines.
+func parallelismLevels() []int {
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
+}
+
+// BenchmarkDistributedSOFDA measures the multi-domain pipeline end to end:
+// per-domain candidate generation plus the leader's merge and completion.
+func BenchmarkDistributedSOFDA(b *testing.B) {
+	net := topology.Cogent(topology.Config{NumVMs: exp.DefaultVMs, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	req := core.Request{
+		Sources:  net.RandomNodes(rng, exp.DefaultSources),
+		Dests:    net.RandomNodes(rng, exp.DefaultDests),
+		ChainLen: exp.DefaultChain,
+	}
+	opts := &core.Options{VMs: net.VMs}
+	for _, domains := range []int{1, 3, 5} {
+		b.Run(fmt.Sprintf("domains%d", domains), func(b *testing.B) {
+			cluster := dist.NewCluster(net.G, domains, chain.Options{})
+			defer cluster.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -7,6 +7,7 @@
 //	experiments -fig 8            # Fig. 8 (SoftLayer, with exact optimum)
 //	experiments -fig 12 -steps 30 # online accumulative cost
 //	experiments -table 1          # SOFDA runtime
+//	experiments -dist             # distributed vs centralized SOFDA (Section VI)
 //	experiments -all -quick       # everything, reduced sizes
 package main
 
@@ -23,12 +24,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig   = flag.Int("fig", 0, "figure to regenerate (7–12), 0 = none")
-		table = flag.Int("table", 0, "table to regenerate (1 or 2), 0 = none")
-		all   = flag.Bool("all", false, "regenerate everything")
-		quick = flag.Bool("quick", false, "reduced sizes/runs for a fast pass")
-		runs  = flag.Int("runs", 3, "random requests averaged per data point")
-		steps = flag.Int("steps", 30, "arrivals for Fig. 12")
+		fig     = flag.Int("fig", 0, "figure to regenerate (7–12), 0 = none")
+		table   = flag.Int("table", 0, "table to regenerate (1 or 2), 0 = none")
+		all     = flag.Bool("all", false, "regenerate everything")
+		quick   = flag.Bool("quick", false, "reduced sizes/runs for a fast pass")
+		runs    = flag.Int("runs", 3, "random requests averaged per data point")
+		steps   = flag.Int("steps", 30, "arrivals for Fig. 12")
+		distrib = flag.Bool("dist", false, "distributed SOFDA comparison (Section VI)")
 	)
 	flag.Parse()
 
@@ -123,6 +125,18 @@ func main() {
 		fmt.Println(exp.FormatTable2(rows))
 		return nil
 	})
+	if *all || *distrib {
+		ran = true
+		kinds := []exp.NetKind{exp.NetSoftLayer, exp.NetCogent}
+		if *quick {
+			kinds = kinds[:1]
+		}
+		rows, err := exp.DistTable(kinds, []int{1, 3, 5}, r, inet)
+		if err != nil {
+			log.Fatalf("distributed comparison: %v", err)
+		}
+		fmt.Println(exp.FormatDistTable(rows))
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)

@@ -1,0 +1,3 @@
+module sof
+
+go 1.24

@@ -17,6 +17,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -53,22 +54,29 @@ func (k Kind) String() string {
 // ST embeds the request with a single Steiner tree plus one service chain,
 // choosing the best single source.
 func ST(g *graph.Graph, req core.Request, opts *core.Options) (*core.Forest, error) {
-	return run(g, req, opts, KindST)
+	return run(context.Background(), g, req, opts, KindST)
 }
 
 // EST embeds the request with the enhanced Steiner tree heuristic.
 func EST(g *graph.Graph, req core.Request, opts *core.Options) (*core.Forest, error) {
-	return run(g, req, opts, KindEST)
+	return run(context.Background(), g, req, opts, KindEST)
 }
 
 // ENEMP embeds the request with the enhanced NEMP heuristic.
 func ENEMP(g *graph.Graph, req core.Request, opts *core.Options) (*core.Forest, error) {
-	return run(g, req, opts, KindENEMP)
+	return run(context.Background(), g, req, opts, KindENEMP)
 }
 
 // Solve dispatches on kind (convenience for the experiment harness).
 func Solve(g *graph.Graph, req core.Request, opts *core.Options, kind Kind) (*core.Forest, error) {
-	return run(g, req, opts, kind)
+	return run(context.Background(), g, req, opts, kind)
+}
+
+// SolveCtx is Solve with cancellation: ctx is observed between candidate
+// trees, mirroring the context support of the core algorithms so the whole
+// stack can be driven under one deadline.
+func SolveCtx(ctx context.Context, g *graph.Graph, req core.Request, opts *core.Options, kind Kind) (*core.Forest, error) {
+	return run(ctx, g, req, opts, kind)
 }
 
 // candidate is one service tree rooted at a source, spanning all
@@ -127,6 +135,7 @@ func (c *candidate) prunedTree(assigned []graph.NodeID) ([]graph.EdgeID, float64
 func (c *candidate) edgeCostOf(e graph.EdgeID) float64 { return c.costFn(e) }
 
 type builder struct {
+	ctx    context.Context
 	g      *graph.Graph
 	req    core.Request
 	oracle *chain.Oracle
@@ -134,9 +143,12 @@ type builder struct {
 	kind   Kind
 }
 
-func run(g *graph.Graph, req core.Request, opts *core.Options, kind Kind) (*core.Forest, error) {
+func run(ctx context.Context, g *graph.Graph, req core.Request, opts *core.Options, kind Kind) (*core.Forest, error) {
 	if err := req.Validate(g); err != nil {
 		return nil, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	o := core.Options{}
 	if opts != nil {
@@ -147,6 +159,7 @@ func run(g *graph.Graph, req core.Request, opts *core.Options, kind Kind) (*core
 		vms = g.VMs()
 	}
 	b := &builder{
+		ctx:    ctx,
 		g:      g,
 		req:    req,
 		oracle: chain.NewOracle(g, o.Chain),
@@ -170,6 +183,9 @@ func (b *builder) solve() (*core.Forest, error) {
 
 	if b.kind != KindST {
 		for len(usedSrc) < countDistinct(b.req.Sources) {
+			if err := b.ctx.Err(); err != nil {
+				return nil, err
+			}
 			curCost, _ := b.totalCost(chosen)
 			cand, err := b.bestCandidate(used, usedSrc)
 			if err != nil {
@@ -213,6 +229,9 @@ func (b *builder) bestCandidate(used, usedSrc map[graph.NodeID]bool) (*candidate
 	for _, s := range b.req.Sources {
 		if usedSrc[s] {
 			continue
+		}
+		if err := b.ctx.Err(); err != nil {
+			return nil, err
 		}
 		c, err := b.buildCandidate(s, used)
 		if err != nil {

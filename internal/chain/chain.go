@@ -132,14 +132,27 @@ type Options struct {
 }
 
 // Oracle answers service-chain queries over one network. It caches Dijkstra
-// trees per origin node; the cache is safe for concurrent use.
+// trees per origin node; the cache is safe for concurrent use and computes
+// each tree exactly once even under concurrent demand (per-origin
+// singleflight), so parallel candidate generation does not duplicate
+// Dijkstra work or serialize on one lock while trees are being built.
 type Oracle struct {
 	g      *graph.Graph
 	solver kstroll.Solver
 	opts   Options
 
-	mu    sync.Mutex
-	trees map[graph.NodeID]*graph.ShortestPaths
+	// mu guards the trees map itself; each entry synchronizes its own
+	// computation through its once, so readers only hold mu for the lookup.
+	mu    sync.RWMutex
+	trees map[graph.NodeID]*treeEntry
+}
+
+// treeEntry is a singleflight slot for one origin's Dijkstra tree: the
+// first goroutine to reach the entry computes the tree inside once, any
+// concurrent goroutine blocks on it instead of recomputing.
+type treeEntry struct {
+	once sync.Once
+	sp   *graph.ShortestPaths
 }
 
 // NewOracle returns an oracle over g.
@@ -152,7 +165,7 @@ func NewOracle(g *graph.Graph, opts Options) *Oracle {
 		g:      g,
 		solver: solver,
 		opts:   opts,
-		trees:  make(map[graph.NodeID]*graph.ShortestPaths),
+		trees:  make(map[graph.NodeID]*treeEntry),
 	}
 }
 
@@ -160,24 +173,28 @@ func NewOracle(g *graph.Graph, opts Options) *Oracle {
 func (o *Oracle) Graph() *graph.Graph { return o.g }
 
 func (o *Oracle) tree(n graph.NodeID) *graph.ShortestPaths {
-	o.mu.Lock()
-	sp, ok := o.trees[n]
-	o.mu.Unlock()
-	if ok {
-		return sp
+	o.mu.RLock()
+	e, ok := o.trees[n]
+	o.mu.RUnlock()
+	if !ok {
+		o.mu.Lock()
+		if e, ok = o.trees[n]; !ok {
+			e = &treeEntry{}
+			o.trees[n] = e
+		}
+		o.mu.Unlock()
 	}
-	sp = graph.Dijkstra(o.g, n)
-	o.mu.Lock()
-	o.trees[n] = sp
-	o.mu.Unlock()
-	return sp
+	e.once.Do(func() { e.sp = graph.Dijkstra(o.g, n) })
+	return e.sp
 }
 
 // InvalidateCache drops all cached shortest-path trees. Call after edge
-// costs change (online/load-aware scenarios).
+// costs change (online/load-aware scenarios). Queries already in flight may
+// finish against the trees they have resolved; queries started afterwards
+// see fresh trees.
 func (o *Oracle) InvalidateCache() {
 	o.mu.Lock()
-	o.trees = make(map[graph.NodeID]*graph.ShortestPaths)
+	o.trees = make(map[graph.NodeID]*treeEntry)
 	o.mu.Unlock()
 }
 

@@ -1,0 +1,116 @@
+package chain
+
+import (
+	"context"
+	"runtime"
+	"sync"
+
+	"sof/internal/graph"
+)
+
+// Pair identifies one candidate-chain query: a service chain starting at
+// Source and terminating its last VNF on LastVM.
+type Pair struct {
+	Source graph.NodeID
+	LastVM graph.NodeID
+}
+
+// Result couples a Pair with the outcome of its query. Exactly one of
+// Chain and Err is non-nil.
+type Result struct {
+	Pair  Pair
+	Chain *ServiceChain
+	Err   error
+}
+
+// Pairs enumerates the candidate (source, lastVM) pairs of Procedure 3 in
+// the canonical order buildAuxGraph iterates them: sources outermost (with
+// multiplicity), VMs innermost, skipping self-pairs. The distributed
+// leader relies on this order to reproduce the centralized auxiliary graph
+// bit for bit.
+func Pairs(sources, vms []graph.NodeID) []Pair {
+	pairs := make([]Pair, 0, len(sources)*len(vms))
+	for _, s := range sources {
+		for _, u := range vms {
+			if u == s {
+				continue
+			}
+			pairs = append(pairs, Pair{Source: s, LastVM: u})
+		}
+	}
+	return pairs
+}
+
+// Chains computes a candidate service chain for every pair over a bounded
+// worker pool, fanning queries out across parallelism goroutines. Results
+// are returned in pair order; per-pair failures (unreachable VMs, too few
+// candidates) are recorded in Result.Err rather than aborting the batch.
+// The only call-level error is context cancellation, in which case the
+// partial results are discarded.
+//
+// parallelism <= 0 uses GOMAXPROCS; parallelism == 1 runs sequentially on
+// the calling goroutine. The oracle's tree cache is shared across workers:
+// each origin's Dijkstra tree is computed once (singleflight), whichever
+// worker needs it first.
+func (o *Oracle) Chains(ctx context.Context, vms []graph.NodeID, pairs []Pair, chainLen, parallelism int) ([]Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]Result, len(pairs))
+	if len(pairs) == 0 {
+		return results, nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(pairs) {
+		parallelism = len(pairs)
+	}
+
+	solve := func(i int) {
+		p := pairs[i]
+		sc, err := o.Chain(vms, p.Source, p.LastVM, chainLen)
+		results[i] = Result{Pair: p, Chain: sc, Err: err}
+	}
+
+	if parallelism == 1 {
+		for i := range pairs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			solve(i)
+		}
+		return results, nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				solve(i)
+			}
+		}()
+	}
+	var cancelled error
+feed:
+	for i := range pairs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			cancelled = ctx.Err()
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	return results, nil
+}

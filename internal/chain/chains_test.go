@@ -1,0 +1,190 @@
+package chain
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"sof/internal/graph"
+)
+
+// randomNet builds a connected random network with nVMs VMs for fan-out
+// tests.
+func randomNet(t *testing.T, seed int64, nSwitches, nVMs int) (*graph.Graph, []graph.NodeID, []graph.NodeID) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := graph.New(nSwitches+nVMs, 4*(nSwitches+nVMs))
+	switches := make([]graph.NodeID, nSwitches)
+	for i := range switches {
+		switches[i] = g.AddSwitch("")
+	}
+	// Spanning path plus random chords keeps the graph connected.
+	for i := 1; i < nSwitches; i++ {
+		g.MustAddEdge(switches[i-1], switches[i], 1+rng.Float64()*4)
+	}
+	for i := 0; i < 2*nSwitches; i++ {
+		a, b := rng.Intn(nSwitches), rng.Intn(nSwitches)
+		if a == b || g.FindEdge(switches[a], switches[b]) != graph.NoEdge {
+			continue
+		}
+		g.MustAddEdge(switches[a], switches[b], 1+rng.Float64()*4)
+	}
+	vms := make([]graph.NodeID, nVMs)
+	for i := range vms {
+		vms[i] = g.AddVM("", 1+rng.Float64()*5)
+		g.MustAddEdge(switches[rng.Intn(nSwitches)], vms[i], 1+rng.Float64())
+	}
+	return g, switches, vms
+}
+
+func TestPairsEnumeratesCentralizedOrder(t *testing.T) {
+	s := []graph.NodeID{0, 1, 0}
+	vms := []graph.NodeID{1, 2}
+	got := Pairs(s, vms)
+	want := []Pair{{0, 1}, {0, 2}, {1, 2}, {0, 1}, {0, 2}}
+	if len(got) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pair %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestChainsMatchesSequentialChain checks the fan-out API returns exactly
+// what per-pair Chain calls return, in pair order, at any parallelism.
+func TestChainsMatchesSequentialChain(t *testing.T) {
+	g, switches, vms := randomNet(t, 7, 12, 8)
+	sources := switches[:4]
+	pairs := Pairs(sources, vms)
+	const chainLen = 3
+
+	ref := NewOracle(g, Options{})
+	want := make([]*ServiceChain, len(pairs))
+	for i, p := range pairs {
+		sc, err := ref.Chain(vms, p.Source, p.LastVM, chainLen)
+		if err != nil {
+			continue
+		}
+		want[i] = sc
+	}
+
+	for _, par := range []int{0, 1, 2, runtime.NumCPU()} {
+		o := NewOracle(g, Options{})
+		results, err := o.Chains(context.Background(), vms, pairs, chainLen, par)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		if len(results) != len(pairs) {
+			t.Fatalf("par=%d: %d results for %d pairs", par, len(results), len(pairs))
+		}
+		for i, r := range results {
+			if r.Pair != pairs[i] {
+				t.Fatalf("par=%d: result %d is for pair %v, want %v", par, i, r.Pair, pairs[i])
+			}
+			if (r.Chain == nil) != (want[i] == nil) {
+				t.Fatalf("par=%d pair %v: feasibility mismatch (err=%v)", par, pairs[i], r.Err)
+			}
+			if r.Chain == nil {
+				continue
+			}
+			if err := r.Chain.Validate(g, chainLen); err != nil {
+				t.Errorf("par=%d pair %v: invalid chain: %v", par, pairs[i], err)
+			}
+			if r.Chain.TotalCost() != want[i].TotalCost() {
+				t.Errorf("par=%d pair %v: cost %v, want %v", par, pairs[i], r.Chain.TotalCost(), want[i].TotalCost())
+			}
+		}
+	}
+}
+
+func TestChainsCancelledContext(t *testing.T) {
+	g, switches, vms := randomNet(t, 3, 10, 6)
+	o := NewOracle(g, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := o.Chains(ctx, vms, Pairs(switches[:2], vms), 2, 2); err == nil {
+		t.Fatal("Chains with cancelled context returned nil error")
+	}
+}
+
+// TestChainsConcurrentWithInvalidate hammers the fan-out API and the cache
+// invalidation path from many goroutines; run with -race. Costs are not
+// asserted (invalidations interleave with queries); the point is memory
+// safety of the singleflight tree cache under churn.
+func TestChainsConcurrentWithInvalidate(t *testing.T) {
+	g, switches, vms := randomNet(t, 11, 10, 6)
+	o := NewOracle(g, Options{})
+	sources := switches[:3]
+	pairs := Pairs(sources, vms)
+
+	var wg sync.WaitGroup
+	const (
+		queriers     = 4
+		invalidators = 2
+		rounds       = 8
+	)
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				results, err := o.Chains(context.Background(), vms, pairs, 2, 2)
+				if err != nil {
+					t.Errorf("Chains: %v", err)
+					return
+				}
+				for _, res := range results {
+					if res.Err == nil {
+						if err := res.Chain.Validate(g, 2); err != nil {
+							t.Errorf("invalid chain under churn: %v", err)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	for w := 0; w < invalidators; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := 0; r < 4*rounds; r++ {
+				o.InvalidateCache()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestOracleTreeSingleflight checks concurrent cold-cache queries against
+// one origin do not tear the cache (and, under -race, that the entry
+// synchronization is sound).
+func TestOracleTreeSingleflight(t *testing.T) {
+	g, switches, _ := randomNet(t, 5, 30, 0)
+	o := NewOracle(g, Options{})
+	target := switches[len(switches)-1]
+	var wg sync.WaitGroup
+	dists := make([]float64, 16)
+	for i := range dists {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, d, err := o.Path(switches[0], target)
+			if err != nil {
+				t.Errorf("Path: %v", err)
+				return
+			}
+			dists[i] = d
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(dists); i++ {
+		if dists[i] != dists[0] {
+			t.Fatalf("concurrent Path disagreed: %v vs %v", dists[i], dists[0])
+		}
+	}
+}

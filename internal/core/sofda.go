@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -34,7 +35,10 @@ type auxGraph struct {
 
 // buildAuxGraph constructs Ĝ. For chainLen == 0 the sources connect to
 // their duplicates directly (the problem degenerates to a Steiner forest).
-func buildAuxGraph(g *graph.Graph, oracle *chain.Oracle, sources, vms []graph.NodeID, chainLen int) (*auxGraph, error) {
+// Candidate chains for all (source, last VM) pairs are generated
+// concurrently through the oracle's fan-out pool; infeasible pairs
+// (unreachable or too few VMs) are skipped.
+func buildAuxGraph(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, sources, vms []graph.NodeID, chainLen, parallelism int) (*auxGraph, error) {
 	aux := &auxGraph{
 		g:         g.Clone(),
 		srcDup:    make(map[graph.NodeID]graph.NodeID, len(sources)),
@@ -69,20 +73,18 @@ func buildAuxGraph(g *graph.Graph, oracle *chain.Oracle, sources, vms []graph.No
 		aux.dupToVM[d] = u
 		aux.g.MustAddEdge(d, u, 0)
 	}
+	results, err := oracle.Chains(ctx, vms, chain.Pairs(sources, vms), chainLen, parallelism)
+	if err != nil {
+		return nil, err
+	}
 	feasible := 0
-	for _, s := range sources {
-		for _, u := range vms {
-			if u == s {
-				continue
-			}
-			sc, err := oracle.Chain(vms, s, u, chainLen)
-			if err != nil {
-				continue // unreachable or too few VMs via this pair
-			}
-			id := aux.g.MustAddEdge(aux.srcDup[s], aux.vmDup[u], sc.TotalCost())
-			aux.chains[id] = sc
-			feasible++
+	for _, r := range results {
+		if r.Err != nil {
+			continue // unreachable or too few VMs via this pair
 		}
+		id := aux.g.MustAddEdge(aux.srcDup[r.Pair.Source], aux.vmDup[r.Pair.LastVM], r.Chain.TotalCost())
+		aux.chains[id] = r.Chain
+		feasible++
 	}
 	if feasible == 0 {
 		return nil, errors.New("core: no feasible candidate service chain for any (source, last VM) pair")
@@ -150,11 +152,18 @@ func buildAuxGraphFromCandidates(g *graph.Graph, sources, vms []graph.NodeID, ch
 // SOFDA itself is equivalent to computing all |S|·|M| candidates centrally
 // and calling this.
 func SOFDAFromCandidates(g *graph.Graph, req Request, opts *Options, candidates []*chain.ServiceChain) (*Forest, error) {
+	return SOFDAFromCandidatesCtx(context.Background(), g, req, opts, candidates)
+}
+
+// SOFDAFromCandidatesCtx is SOFDAFromCandidates with cancellation: ctx is
+// observed between the Steiner, assembly, and per-source refinement phases.
+func SOFDAFromCandidatesCtx(ctx context.Context, g *graph.Graph, req Request, opts *Options, candidates []*chain.ServiceChain) (*Forest, error) {
+	ctx = ctxOrBackground(ctx)
 	if err := req.Validate(g); err != nil {
 		return nil, err
 	}
 	if req.ChainLen == 0 {
-		return SOFDA(g, req, opts)
+		return SOFDACtx(ctx, g, req, opts)
 	}
 	o := optsOrDefault(opts)
 	vms := o.vms(g)
@@ -163,17 +172,41 @@ func SOFDAFromCandidates(g *graph.Graph, req Request, opts *Options, candidates 
 	if err != nil {
 		return nil, err
 	}
+	return completeForest(ctx, g, oracle, vms, req, aux)
+}
+
+// completeForest runs the shared tail of Algorithm 2 over a built Ĝ: the
+// Steiner phase, forest assembly, and the per-source single-tree
+// refinement. Both the centralized SOFDA and the distributed leader end
+// here, which is what makes their costs provably identical on equal Ĝ.
+func completeForest(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, vms []graph.NodeID, req Request, aux *auxGraph) (*Forest, error) {
 	terminals := append([]graph.NodeID{aux.sHat}, req.Dests...)
 	tree, err := steiner.KMB(aux.g, terminals)
 	if err != nil {
 		return nil, fmt.Errorf("core: SOFDA Steiner phase: %w", err)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	best, err := assembleForest(g, oracle, vms, req, aux, tree.Edges)
 	if err != nil {
 		return nil, err
 	}
+	if req.ChainLen == 0 {
+		return best, nil
+	}
+	// Refinement: the KMB tree on Ĝ is one ρST-approximate Steiner tree;
+	// any other feasible tree of Ĝ is equally admissible. For each source,
+	// evaluate the single-chain tree built from its cheapest candidate
+	// chain (the Ĝ tree that uses exactly one virtual edge) and keep the
+	// cheapest assembled forest. This keeps the 3ρST guarantee — the KMB
+	// candidate is never discarded for a worse one — while shaving the
+	// 2-approximation noise on instances where one tree is optimal.
 	destTrees := graph.DijkstraAll(g, req.Dests)
 	for _, s := range req.Sources {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cand := bestSingleTree(g, aux, s, req, destTrees)
 		if cand == nil {
 			continue
@@ -201,6 +234,14 @@ func (a *auxGraph) isRealEdge(e graph.EdgeID) bool { return int(e) < a.origEdges
 // walks (resolving VNF conflicts per Procedure 4), and attaches the
 // tree's real-edge components to the walks' last VMs.
 func SOFDA(g *graph.Graph, req Request, opts *Options) (*Forest, error) {
+	return SOFDACtx(context.Background(), g, req, opts)
+}
+
+// SOFDACtx is SOFDA with cancellation and concurrent candidate generation:
+// the |S|·|M| candidate chains of Procedure 3 are computed on a worker
+// pool bounded by opts.Parallelism, and ctx is observed throughout.
+func SOFDACtx(ctx context.Context, g *graph.Graph, req Request, opts *Options) (*Forest, error) {
+	ctx = ctxOrBackground(ctx)
 	if err := req.Validate(g); err != nil {
 		return nil, err
 	}
@@ -208,43 +249,11 @@ func SOFDA(g *graph.Graph, req Request, opts *Options) (*Forest, error) {
 	vms := o.vms(g)
 	oracle := chain.NewOracle(g, o.Chain)
 
-	aux, err := buildAuxGraph(g, oracle, req.Sources, vms, req.ChainLen)
+	aux, err := buildAuxGraph(ctx, g, oracle, req.Sources, vms, req.ChainLen, o.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	terminals := append([]graph.NodeID{aux.sHat}, req.Dests...)
-	tree, err := steiner.KMB(aux.g, terminals)
-	if err != nil {
-		return nil, fmt.Errorf("core: SOFDA Steiner phase: %w", err)
-	}
-	best, err := assembleForest(g, oracle, vms, req, aux, tree.Edges)
-	if err != nil {
-		return nil, err
-	}
-	// Refinement: the KMB tree on Ĝ is one ρST-approximate Steiner tree;
-	// any other feasible tree of Ĝ is equally admissible. For each source,
-	// evaluate the single-chain tree built from its cheapest candidate
-	// chain (the Ĝ tree that uses exactly one virtual edge) and keep the
-	// cheapest assembled forest. This keeps the 3ρST guarantee — the KMB
-	// candidate is never discarded for a worse one — while shaving the
-	// 2-approximation noise on instances where one tree is optimal.
-	if req.ChainLen > 0 {
-		destTrees := graph.DijkstraAll(g, req.Dests)
-		for _, s := range req.Sources {
-			cand := bestSingleTree(g, aux, s, req, destTrees)
-			if cand == nil {
-				continue
-			}
-			f, err := assembleForest(g, oracle, vms, req, aux, cand)
-			if err != nil {
-				continue
-			}
-			if f.TotalCost() < best.TotalCost() {
-				best = f
-			}
-		}
-	}
-	return best, nil
+	return completeForest(ctx, g, oracle, vms, req, aux)
 }
 
 // bestSingleTree returns Ĝ tree edges for the cheapest single-chain

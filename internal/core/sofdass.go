@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -49,6 +50,9 @@ type Options struct {
 	Chain chain.Options
 	// VMs restricts the candidate VM set; all VMs of the graph when nil.
 	VMs []graph.NodeID
+	// Parallelism bounds the worker pool used for candidate-chain
+	// generation: GOMAXPROCS when <= 0, sequential when 1.
+	Parallelism int
 }
 
 func (o *Options) vms(g *graph.Graph) []graph.NodeID {
@@ -65,12 +69,30 @@ func optsOrDefault(opts *Options) Options {
 	return *opts
 }
 
+// ctxOrBackground normalizes a nil context; every exported Ctx entry point
+// tolerates nil the same way chain.Oracle.Chains does.
+func ctxOrBackground(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
 // SOFDASS is Algorithm 1: the (2+ρST)-approximation for the single-source
 // SOF problem. For every candidate last VM u it builds the minimum-cost
 // service chain s→u via the k-stroll reduction (Procedures 1–2), appends a
 // Steiner tree spanning u and all destinations, and returns the cheapest
 // resulting forest.
 func SOFDASS(g *graph.Graph, source graph.NodeID, dests []graph.NodeID, chainLen int, opts *Options) (*Forest, error) {
+	return SOFDASSCtx(context.Background(), g, source, dests, chainLen, opts)
+}
+
+// SOFDASSCtx is SOFDASS with cancellation: candidate chains for all last
+// VMs are generated concurrently on the oracle's fan-out pool (bounded by
+// opts.Parallelism), and the per-VM Steiner phase observes ctx between
+// candidates.
+func SOFDASSCtx(ctx context.Context, g *graph.Graph, source graph.NodeID, dests []graph.NodeID, chainLen int, opts *Options) (*Forest, error) {
+	ctx = ctxOrBackground(ctx)
 	req := Request{Sources: []graph.NodeID{source}, Dests: dests, ChainLen: chainLen}
 	if err := req.Validate(g); err != nil {
 		return nil, err
@@ -89,6 +111,10 @@ func SOFDASS(g *graph.Graph, source graph.NodeID, dests []graph.NodeID, chainLen
 		return forestFromTree(g, source, tree, dests, 0)
 	}
 
+	chains, err := oracle.Chains(ctx, vms, chain.Pairs([]graph.NodeID{source}, vms), chainLen, o.Parallelism)
+	if err != nil {
+		return nil, err
+	}
 	type candidate struct {
 		sc   *chain.ServiceChain
 		tree *steiner.Tree
@@ -96,16 +122,16 @@ func SOFDASS(g *graph.Graph, source graph.NodeID, dests []graph.NodeID, chainLen
 	}
 	var best *candidate
 	var lastErr error
-	for _, u := range vms {
-		if u == source {
+	for _, r := range chains {
+		if r.Err != nil {
+			lastErr = r.Err
 			continue
 		}
-		sc, err := oracle.Chain(vms, source, u, chainLen)
-		if err != nil {
-			lastErr = err
-			continue
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
-		tree, err := steiner.KMB(g, append([]graph.NodeID{u}, dests...))
+		sc := r.Chain
+		tree, err := steiner.KMB(g, append([]graph.NodeID{sc.LastVM}, dests...))
 		if err != nil {
 			lastErr = err
 			continue

@@ -1,0 +1,274 @@
+// Package dist implements the distributed SOFDA deployment of Section VI:
+// the network is split across several SDN controller domains, each domain
+// generates candidate service chains for the sources it owns with its own
+// chain oracle (private Dijkstra cache, private worker pool), and a leader
+// merges the per-domain candidates and completes the forest through
+// core.SOFDAFromCandidates.
+//
+// Because every domain answers its queries with the same deterministic
+// k-stroll reduction the centralized solver uses, and the leader restores
+// the centralized candidate order before completion, Cluster.SOFDA returns
+// a forest whose cost equals core.SOFDA's on the same instance — the
+// distribution changes where the work runs, not what is computed.
+//
+// The package is transport-agnostic by construction: domains communicate
+// with the leader through channels here, and the candidate batches they
+// exchange ([]chain.Pair in, []chain.Result out) are the exact payloads an
+// RPC transport would carry.
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"sof/internal/chain"
+	"sof/internal/core"
+	"sof/internal/graph"
+)
+
+// ErrClosed is returned by Cluster.SOFDA after Close.
+var ErrClosed = errors.New("dist: cluster is closed")
+
+// Options configure one distributed embedding.
+type Options struct {
+	// Core configures the leader's completion phase (candidate VM set,
+	// chain-oracle options, conflict resolution). For the distributed cost
+	// to match the centralized one, Core.Chain must equal the chain
+	// options the cluster was built with.
+	Core *core.Options
+	// Parallelism bounds each domain's candidate-generation workers:
+	// GOMAXPROCS when <= 0, sequential when 1. The bound applies per
+	// domain, mirroring a real deployment where every controller owns its
+	// own cores.
+	Parallelism int
+}
+
+// Cluster emulates a multi-domain SDN deployment over one network. Create
+// it with NewCluster, run embeddings with SOFDA, and release the domain
+// workers with Close.
+type Cluster struct {
+	g        *graph.Graph
+	domains  []*domain
+	numNodes int
+
+	// mu is held read-side for the duration of every SOFDA call and
+	// write-side by Close, so Close cannot pull the job channels out from
+	// under an in-flight embedding.
+	mu     sync.RWMutex
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// domain is one controller: a private oracle over the shared read-only
+// graph plus the job stream its long-lived worker goroutine serves.
+type domain struct {
+	id     int
+	oracle *chain.Oracle
+	jobs   chan batch
+}
+
+// batch is one candidate-generation assignment: compute chains for pairs
+// and deliver each result tagged with its global position, so the leader
+// can splice per-domain answers back into centralized order.
+type batch struct {
+	ctx         context.Context
+	vms         []graph.NodeID
+	pairs       []chain.Pair
+	indices     []int
+	chainLen    int
+	parallelism int
+	out         chan<- indexed
+}
+
+// indexed is one candidate tagged with its global pair position. err is
+// only non-nil for batch-level failures (cancellation).
+type indexed struct {
+	idx int
+	res chain.Result
+	err error
+}
+
+// NewCluster partitions the network into numDomains controller domains and
+// starts one worker per domain. Node IDs are split into contiguous ranges
+// — topology generators allocate IDs regionally, so contiguous ranges
+// approximate geographic domains. numDomains < 1 is treated as 1; domains
+// beyond the node count stay idle.
+func NewCluster(g *graph.Graph, numDomains int, chainOpts chain.Options) *Cluster {
+	if numDomains < 1 {
+		numDomains = 1
+	}
+	c := &Cluster{g: g, numNodes: g.NumNodes()}
+	for i := 0; i < numDomains; i++ {
+		d := &domain{
+			id:     i,
+			oracle: chain.NewOracle(g, chainOpts),
+			jobs:   make(chan batch),
+		}
+		c.domains = append(c.domains, d)
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			d.serve()
+		}()
+	}
+	return c
+}
+
+// serve processes candidate batches until the jobs channel closes.
+func (d *domain) serve() {
+	for b := range d.jobs {
+		results, err := d.oracle.Chains(b.ctx, b.vms, b.pairs, b.chainLen, b.parallelism)
+		if err != nil {
+			// Cancellation: report once per pair so the leader's
+			// accounting stays exact.
+			for _, idx := range b.indices {
+				b.out <- indexed{idx: idx, err: err}
+			}
+			continue
+		}
+		for i, r := range results {
+			b.out <- indexed{idx: b.indices[i], res: r}
+		}
+	}
+}
+
+// NumDomains returns the number of controller domains.
+func (c *Cluster) NumDomains() int { return len(c.domains) }
+
+// InvalidateCache drops every domain oracle's cached shortest-path trees.
+// Call after edge costs change on the shared graph (online/load-aware
+// scenarios); without it the long-lived domain oracles would keep
+// answering from pre-mutation trees and the distributed cost could
+// silently diverge from a fresh centralized run.
+func (c *Cluster) InvalidateCache() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for _, d := range c.domains {
+		d.oracle.InvalidateCache()
+	}
+}
+
+// domainOf maps a node to its owning domain by contiguous ID range.
+func (c *Cluster) domainOf(n graph.NodeID) int {
+	if c.numNodes == 0 {
+		return 0
+	}
+	d := int(n) * len(c.domains) / c.numNodes
+	if d >= len(c.domains) {
+		d = len(c.domains) - 1
+	}
+	return d
+}
+
+// SOFDA runs the distributed Algorithm 2: each domain generates candidate
+// chains for the (source, last VM) pairs whose source it owns, the leader
+// merges them in centralized order and completes the forest with
+// core.SOFDAFromCandidatesCtx. The returned forest's cost equals the
+// centralized core.SOFDA cost on the same graph, request, and options.
+func (c *Cluster) SOFDA(ctx context.Context, req core.Request, opts Options) (*core.Forest, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.closed {
+		return nil, ErrClosed
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := req.Validate(c.g); err != nil {
+		return nil, err
+	}
+	o := &core.Options{}
+	if opts.Core != nil {
+		copied := *opts.Core
+		o = &copied
+	}
+	if req.ChainLen == 0 {
+		// Degenerate Steiner forest: no chains to distribute.
+		return core.SOFDACtx(ctx, c.g, req, o)
+	}
+	vms := o.VMs
+	if vms == nil {
+		vms = c.g.VMs()
+	}
+
+	// The leader enumerates pairs in the exact order the centralized
+	// solver would and scatters each to its source's domain.
+	pairs := chain.Pairs(req.Sources, vms)
+	perDomain := make([][]chain.Pair, len(c.domains))
+	perIndices := make([][]int, len(c.domains))
+	for i, p := range pairs {
+		d := c.domainOf(p.Source)
+		perDomain[d] = append(perDomain[d], p)
+		perIndices[d] = append(perIndices[d], i)
+	}
+	out := make(chan indexed, len(pairs))
+	dispatched := 0
+	for d, dp := range perDomain {
+		if len(dp) == 0 {
+			continue
+		}
+		b := batch{
+			ctx:         ctx,
+			vms:         vms,
+			pairs:       dp,
+			indices:     perIndices[d],
+			chainLen:    req.ChainLen,
+			parallelism: opts.Parallelism,
+			out:         out,
+		}
+		select {
+		case c.domains[d].jobs <- b:
+			dispatched += len(dp)
+		case <-ctx.Done():
+			// Gather whatever was already dispatched before bailing so no
+			// worker blocks on out.
+			for i := 0; i < dispatched; i++ {
+				<-out
+			}
+			return nil, ctx.Err()
+		}
+	}
+
+	// Gather phase: splice per-domain results back into centralized order.
+	results := make([]chain.Result, len(pairs))
+	var gatherErr error
+	for i := 0; i < dispatched; i++ {
+		r := <-out
+		if r.err != nil {
+			gatherErr = r.err
+			continue
+		}
+		results[r.idx] = r.res
+	}
+	if gatherErr != nil {
+		return nil, gatherErr
+	}
+	candidates := make([]*chain.ServiceChain, 0, len(pairs))
+	for _, r := range results {
+		if r.Err == nil && r.Chain != nil {
+			candidates = append(candidates, r.Chain)
+		}
+	}
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("dist: no domain produced a feasible candidate chain")
+	}
+	return core.SOFDAFromCandidatesCtx(ctx, c.g, req, o, candidates)
+}
+
+// Close shuts down the domain workers. It is idempotent; SOFDA calls after
+// Close return ErrClosed.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.mu.Unlock()
+	for _, d := range c.domains {
+		close(d.jobs)
+	}
+	c.wg.Wait()
+}

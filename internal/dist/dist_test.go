@@ -1,0 +1,177 @@
+package dist
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+
+	"sof/internal/chain"
+	"sof/internal/core"
+	"sof/internal/graph"
+	"sof/internal/topology"
+)
+
+func softLayerInstance(seed int64) (*topology.Network, core.Request, *core.Options) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 20, Seed: seed})
+	rng := rand.New(rand.NewSource(seed))
+	req := core.Request{
+		Sources:  net.RandomNodes(rng, 5),
+		Dests:    net.RandomNodes(rng, 4),
+		ChainLen: 2,
+	}
+	return net, req, &core.Options{VMs: net.VMs}
+}
+
+// TestDistributedMatchesCentralized is the distributed correctness claim
+// of Section VI: on the same instance, the leader-completed forest costs
+// exactly what the centralized SOFDA costs, for any number of domains.
+func TestDistributedMatchesCentralized(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23, 42} {
+		net, req, opts := softLayerInstance(seed)
+		central, err := core.SOFDA(net.G, req, opts)
+		if err != nil {
+			t.Fatalf("seed %d: centralized: %v", seed, err)
+		}
+		for _, domains := range []int{1, 3, 5} {
+			cluster := NewCluster(net.G, domains, chain.Options{})
+			f, err := cluster.SOFDA(context.Background(), req, Options{Core: opts})
+			cluster.Close()
+			if err != nil {
+				t.Fatalf("seed %d domains %d: distributed: %v", seed, domains, err)
+			}
+			if err := f.Validate(req.Sources, req.Dests); err != nil {
+				t.Errorf("seed %d domains %d: infeasible forest: %v", seed, domains, err)
+			}
+			if f.TotalCost() != central.TotalCost() {
+				t.Errorf("seed %d domains %d: distributed cost %v != centralized %v",
+					seed, domains, f.TotalCost(), central.TotalCost())
+			}
+		}
+	}
+}
+
+func TestDistributedZeroChainDegenerate(t *testing.T) {
+	net, req, opts := softLayerInstance(3)
+	req.ChainLen = 0
+	central, err := core.SOFDA(net.G, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := NewCluster(net.G, 3, chain.Options{})
+	defer cluster.Close()
+	f, err := cluster.SOFDA(context.Background(), req, Options{Core: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalCost() != central.TotalCost() {
+		t.Errorf("distributed %v != centralized %v", f.TotalCost(), central.TotalCost())
+	}
+}
+
+func TestClusterCloseIdempotentAndRejects(t *testing.T) {
+	net, req, opts := softLayerInstance(5)
+	cluster := NewCluster(net.G, 2, chain.Options{})
+	cluster.Close()
+	cluster.Close() // must not panic or deadlock
+	if _, err := cluster.SOFDA(context.Background(), req, Options{Core: opts}); err != ErrClosed {
+		t.Fatalf("SOFDA after Close = %v, want ErrClosed", err)
+	}
+}
+
+func TestClusterCancelledContext(t *testing.T) {
+	net, req, opts := softLayerInstance(9)
+	cluster := NewCluster(net.G, 3, chain.Options{})
+	defer cluster.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cluster.SOFDA(ctx, req, Options{Core: opts}); err == nil {
+		t.Fatal("SOFDA with cancelled context returned nil error")
+	}
+	// The cluster must remain usable after a cancelled embedding.
+	if _, err := cluster.SOFDA(context.Background(), req, Options{Core: opts}); err != nil {
+		t.Fatalf("SOFDA after cancellation: %v", err)
+	}
+}
+
+// TestClusterConcurrentSOFDA runs several embeddings on one cluster at
+// once (run with -race): the domains' oracles and the leader gather path
+// must tolerate interleaved batches.
+func TestClusterConcurrentSOFDA(t *testing.T) {
+	net, req, opts := softLayerInstance(13)
+	central, err := core.SOFDA(net.G, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := NewCluster(net.G, 3, chain.Options{})
+	defer cluster.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 2*runtime.NumCPU(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f, err := cluster.SOFDA(context.Background(), req, Options{Core: opts, Parallelism: 2})
+			if err != nil {
+				t.Errorf("concurrent SOFDA: %v", err)
+				return
+			}
+			if f.TotalCost() != central.TotalCost() {
+				t.Errorf("concurrent SOFDA cost %v != centralized %v", f.TotalCost(), central.TotalCost())
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestInvalidateCacheAfterCostChange mutates edge costs between two
+// embeddings on one long-lived cluster: after InvalidateCache the
+// distributed cost must track a fresh centralized run again.
+func TestInvalidateCacheAfterCostChange(t *testing.T) {
+	net, req, opts := softLayerInstance(21)
+	cluster := NewCluster(net.G, 3, chain.Options{})
+	defer cluster.Close()
+	if _, err := cluster.SOFDA(context.Background(), req, Options{Core: opts}); err != nil {
+		t.Fatal(err)
+	}
+	// Warm caches, then reprice every backbone link.
+	rng := rand.New(rand.NewSource(99))
+	for e := 0; e < net.G.NumEdges(); e++ {
+		net.G.SetEdgeCost(graph.EdgeID(e), 1+rng.Float64()*20)
+	}
+	cluster.InvalidateCache()
+	central, err := core.SOFDA(net.G, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := cluster.SOFDA(context.Background(), req, Options{Core: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalCost() != central.TotalCost() {
+		t.Errorf("after cost change: distributed %v != centralized %v", f.TotalCost(), central.TotalCost())
+	}
+}
+
+func TestDomainPartitionCoversAllNodes(t *testing.T) {
+	net, _, _ := softLayerInstance(1)
+	for _, domains := range []int{1, 2, 3, 7, 1000} {
+		cluster := NewCluster(net.G, domains, chain.Options{})
+		counts := make([]int, cluster.NumDomains())
+		for n := 0; n < net.G.NumNodes(); n++ {
+			d := cluster.domainOf(graph.NodeID(n))
+			if d < 0 || d >= cluster.NumDomains() {
+				t.Fatalf("domains=%d: node %d mapped to domain %d", domains, n, d)
+			}
+			counts[d]++
+		}
+		cluster.Close()
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		if total != net.G.NumNodes() {
+			t.Fatalf("domains=%d: partition covers %d of %d nodes", domains, total, net.G.NumNodes())
+		}
+	}
+}

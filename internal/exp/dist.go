@@ -1,0 +1,119 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"sof/internal/chain"
+	"sof/internal/core"
+	"sof/internal/dist"
+	"sof/internal/topology"
+)
+
+// DistRow is one distributed-vs-centralized comparison: the same request
+// solved by core.SOFDA and by a dist.Cluster with the given domain count.
+// Match reports cost equality, the distributed correctness claim of
+// Section VI.
+type DistRow struct {
+	Net         NetKind
+	Domains     int
+	CentralCost float64
+	DistCost    float64
+	Match       bool
+	CentralMS   float64
+	DistMS      float64
+}
+
+// DistTable runs the distributed comparison on the paper-default request
+// for every (topology, domain count) combination, averaging costs and wall
+// times over runs seeds. The centralized baseline is solved once per
+// (topology, seed) and shared across domain counts — its cost does not
+// depend on the partitioning.
+func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int) ([]DistRow, error) {
+	type instance struct {
+		net       *topology.Network
+		req       core.Request
+		opts      *core.Options
+		cost      float64
+		centralMS float64
+	}
+	var rows []DistRow
+	for _, kind := range kinds {
+		insts := make([]instance, runs)
+		for r := 0; r < runs; r++ {
+			net, req, err := defaultRequest(kind, int64(r), inetNodes)
+			if err != nil {
+				return nil, err
+			}
+			opts := &core.Options{VMs: net.VMs}
+			start := time.Now()
+			central, err := core.SOFDA(net.G, req, opts)
+			if err != nil {
+				return nil, fmt.Errorf("exp: centralized SOFDA on %s: %w", kind, err)
+			}
+			insts[r] = instance{
+				net:       net,
+				req:       req,
+				opts:      opts,
+				cost:      central.TotalCost(),
+				centralMS: float64(time.Since(start).Microseconds()) / 1e3,
+			}
+		}
+		for _, domains := range domainCounts {
+			row := DistRow{Net: kind, Domains: domains, Match: true}
+			for _, in := range insts {
+				cluster := dist.NewCluster(in.net.G, domains, chain.Options{})
+				start := time.Now()
+				distributed, err := cluster.SOFDA(context.Background(), in.req, dist.Options{Core: in.opts})
+				cluster.Close()
+				if err != nil {
+					return nil, fmt.Errorf("exp: distributed SOFDA on %s (%d domains): %w", kind, domains, err)
+				}
+				row.DistMS += float64(time.Since(start).Microseconds()) / 1e3
+				row.CentralCost += in.cost
+				row.CentralMS += in.centralMS
+				row.DistCost += distributed.TotalCost()
+				if in.cost != distributed.TotalCost() {
+					row.Match = false
+				}
+			}
+			n := float64(runs)
+			row.CentralCost /= n
+			row.DistCost /= n
+			row.CentralMS /= n
+			row.DistMS /= n
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// defaultRequest builds the Section VIII-A default request on kind.
+func defaultRequest(kind NetKind, seed int64, inetNodes int) (*topology.Network, core.Request, error) {
+	n, err := buildNet(kind, DefaultVMs, seed, 1, inetNodes)
+	if err != nil {
+		return nil, core.Request{}, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	return n, core.Request{
+		Sources:  n.RandomNodes(rng, DefaultSources),
+		Dests:    n.RandomNodes(rng, DefaultDests),
+		ChainLen: DefaultChain,
+	}, nil
+}
+
+// FormatDistTable renders the rows as a text table.
+func FormatDistTable(rows []DistRow) string {
+	var b strings.Builder
+	b.WriteString("Distributed SOFDA (Section VI): per-domain candidate generation + leader completion\n")
+	fmt.Fprintf(&b, "%-10s %8s %14s %14s %7s %12s %12s\n",
+		"network", "domains", "central-cost", "dist-cost", "match", "central-ms", "dist-ms")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %14.2f %14.2f %7v %12.2f %12.2f\n",
+			r.Net, r.Domains, r.CentralCost, r.DistCost, r.Match, r.CentralMS, r.DistMS)
+	}
+	return b.String()
+}

@@ -26,6 +26,7 @@
 package sof
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -124,29 +125,62 @@ func (n *Network) SetVMCost(v NodeID, cost float64) { n.g.SetNodeCost(v, cost) }
 // VMs lists the VM nodes.
 func (n *Network) VMs() []NodeID { return n.g.VMs() }
 
+// EmbedOptions tune how an embedding is computed without changing the
+// problem it solves.
+type EmbedOptions struct {
+	// Parallelism bounds the worker pool used for candidate-chain
+	// generation: GOMAXPROCS when <= 0 (or when EmbedOptions is nil),
+	// sequential when 1. Only SOFDA and SOFDA-SS generate candidates
+	// through the pool; the baselines and the exact solver ignore it.
+	Parallelism int
+	// VMs restricts the candidate VM set; all VMs of the network when nil.
+	VMs []NodeID
+}
+
 // Embed computes a service overlay forest for the request.
 func (n *Network) Embed(req Request, algo Algorithm) (*Forest, error) {
+	return n.EmbedContext(context.Background(), req, algo, nil)
+}
+
+// EmbedContext computes a service overlay forest with cancellation and
+// execution options: the embedding aborts with ctx.Err() once ctx is done,
+// and for SOFDA and SOFDA-SS candidate-chain generation fans out across
+// opts.Parallelism workers. A nil opts uses the defaults. AlgorithmExact
+// checks ctx only on entry: its branch-and-bound search does not observe
+// cancellation mid-run.
+func (n *Network) EmbedContext(ctx context.Context, req Request, algo Algorithm, opts *EmbedOptions) (*Forest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	creq := core.Request{Sources: req.Sources, Dests: req.Destinations, ChainLen: req.ChainLength}
+	copts := &core.Options{}
+	if opts != nil {
+		copts.Parallelism = opts.Parallelism
+		copts.VMs = opts.VMs
+	}
 	var (
 		f   *core.Forest
 		err error
 	)
 	switch algo {
 	case AlgorithmSOFDA:
-		f, err = core.SOFDA(n.g, creq, nil)
+		f, err = core.SOFDACtx(ctx, n.g, creq, copts)
 	case AlgorithmSOFDASS:
 		if len(req.Sources) != 1 {
 			return nil, errors.New("sof: SOFDA-SS requires exactly one source")
 		}
-		f, err = core.SOFDASS(n.g, req.Sources[0], req.Destinations, req.ChainLength, nil)
+		f, err = core.SOFDASSCtx(ctx, n.g, req.Sources[0], req.Destinations, req.ChainLength, copts)
 	case AlgorithmENEMP:
-		f, err = baseline.ENEMP(n.g, creq, nil)
+		f, err = baseline.SolveCtx(ctx, n.g, creq, copts, baseline.KindENEMP)
 	case AlgorithmEST:
-		f, err = baseline.EST(n.g, creq, nil)
+		f, err = baseline.SolveCtx(ctx, n.g, creq, copts, baseline.KindEST)
 	case AlgorithmST:
-		f, err = baseline.ST(n.g, creq, nil)
+		f, err = baseline.SolveCtx(ctx, n.g, creq, copts, baseline.KindST)
 	case AlgorithmExact:
-		f, err = sofexact.Solve(n.g, creq, nil)
+		f, err = sofexact.Solve(n.g, creq, &sofexact.Options{VMs: copts.VMs})
 	default:
 		return nil, fmt.Errorf("sof: unknown algorithm %q", algo)
 	}

@@ -1,7 +1,9 @@
 package sof
 
 import (
+	"context"
 	"math"
+	"runtime"
 	"testing"
 )
 
@@ -46,6 +48,32 @@ func TestPublicAPIQuickstart(t *testing.T) {
 		}
 		if f.Trees() != 1 || len(f.UsedVMs()) != 2 {
 			t.Errorf("%s: trees=%d vms=%d", algo, f.Trees(), len(f.UsedVMs()))
+		}
+	}
+}
+
+func TestPublicAPIEmbedContext(t *testing.T) {
+	net, s, d := buildLine(t)
+	req := Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2}
+
+	seq, err := net.Embed(req, AlgorithmSOFDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := net.EmbedContext(context.Background(), req, AlgorithmSOFDA,
+		&EmbedOptions{Parallelism: runtime.NumCPU()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.TotalCost() != seq.TotalCost() {
+		t.Errorf("parallel embed cost %v != sequential %v", par.TotalCost(), seq.TotalCost())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{AlgorithmSOFDA, AlgorithmSOFDASS, AlgorithmENEMP, AlgorithmEST, AlgorithmST, AlgorithmExact} {
+		if _, err := net.EmbedContext(ctx, req, algo, nil); err == nil {
+			t.Errorf("%s: cancelled context accepted", algo)
 		}
 	}
 }
