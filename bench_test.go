@@ -2,7 +2,11 @@
 // run cmd/experiments for the full sweeps. Each benchmark reports the
 // figure's headline quantity as a custom metric so `go test -bench` output
 // doubles as a results table.
-package sof
+//
+// The file lives in the external test package: it exercises internal
+// packages (online, exp, emu) that themselves import the public sof API,
+// which an in-package test file would turn into an import cycle.
+package sof_test
 
 import (
 	"context"
@@ -11,6 +15,7 @@ import (
 	"runtime"
 	"testing"
 
+	"sof"
 	"sof/internal/baseline"
 	"sof/internal/chain"
 	"sof/internal/core"
@@ -242,6 +247,63 @@ func BenchmarkDistributedSOFDA(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkOnlineArrivals measures the session cache against the seed's
+// per-request re-derivation on an unchanged-cost arrival stream: "cold"
+// opens a fresh Solver per request (exactly what Network.Embed does),
+// "warm" drives every request through one shared session whose
+// epoch-keyed Dijkstra cache persists across arrivals. The dijkstras/op
+// metric is the cache effect itself; the wall-clock ratio is the headline
+// speedup.
+func BenchmarkOnlineArrivals(b *testing.B) {
+	const arrivals = 50
+	net := topology.SoftLayer(topology.Config{NumVMs: exp.DefaultVMs, Seed: 1})
+	snet := sof.FromGraph(net.G)
+	rng := rand.New(rand.NewSource(42))
+	reqs := make([]sof.Request, arrivals)
+	for i := range reqs {
+		reqs[i] = sof.Request{
+			Sources:      net.RandomNodes(rng, 4+rng.Intn(4)),
+			Destinations: net.RandomNodes(rng, 4+rng.Intn(4)),
+			ChainLength:  exp.DefaultChain,
+		}
+	}
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		var dijkstras uint64
+		for i := 0; i < b.N; i++ {
+			dijkstras = 0
+			for _, req := range reqs {
+				solver := sof.NewSolver(snet, sof.WithVMs(net.VMs...))
+				if _, err := solver.Embed(ctx, req); err != nil {
+					b.Fatal(err)
+				}
+				dijkstras += solver.CacheStats().Misses
+			}
+		}
+		b.ReportMetric(float64(dijkstras), "dijkstras/op")
+	})
+	b.Run("warm", func(b *testing.B) {
+		var dijkstras uint64
+		for i := 0; i < b.N; i++ {
+			solver := sof.NewSolver(snet, sof.WithVMs(net.VMs...))
+			in := make(chan sof.Request)
+			go func() {
+				defer close(in)
+				for _, req := range reqs {
+					in <- req
+				}
+			}()
+			for res := range solver.EmbedStream(ctx, in) {
+				if res.Err != nil {
+					b.Fatal(res.Err)
+				}
+			}
+			dijkstras = solver.CacheStats().Misses
+		}
+		b.ReportMetric(float64(dijkstras), "dijkstras/op")
+	})
 }
 
 // BenchmarkFig12Online reproduces the accumulative-cost experiment over a

@@ -1,5 +1,7 @@
 // Command sofcli embeds a single request on one of the built-in topologies
-// and prints the resulting forest, comparing algorithms side by side.
+// and prints the resulting forest, comparing algorithms side by side. All
+// algorithms run through one sof.Solver session, so the shortest-path work
+// over the topology is paid once and shared by the whole comparison.
 //
 // Usage:
 //
@@ -7,15 +9,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"sof/internal/baseline"
-	"sof/internal/core"
+	"sof"
 	"sof/internal/exp"
-	"sof/internal/sofexact"
 	"sof/internal/topology"
 )
 
@@ -50,35 +51,33 @@ func main() {
 		log.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(*seed))
-	req := core.Request{
-		Sources:  net.RandomNodes(rng, *sources),
-		Dests:    net.RandomNodes(rng, *dests),
-		ChainLen: *chain,
+	req := sof.Request{
+		Sources:      net.RandomNodes(rng, *sources),
+		Destinations: net.RandomNodes(rng, *dests),
+		ChainLength:  *chain,
 	}
-	opts := &core.Options{VMs: net.VMs}
+	solver := sof.NewSolver(sof.FromGraph(net.G), sof.WithVMs(net.VMs...))
 	fmt.Printf("network=%s nodes=%d links=%d vms=%d | request: %d sources, %d dests, |C|=%d\n\n",
 		*netKind, net.G.NumNodes(), net.G.NumEdges(), len(net.VMs),
-		len(req.Sources), len(req.Dests), req.ChainLen)
+		len(req.Sources), len(req.Destinations), req.ChainLength)
 	fmt.Printf("%-8s %10s %10s %10s %7s %7s\n", "algo", "total", "setup", "conn", "trees", "vms")
-	report := func(name string, f *core.Forest, err error) {
+	run := func(algo sof.Algorithm) {
+		f, err := solver.EmbedAlgorithm(context.Background(), req, algo)
 		if err != nil {
-			fmt.Printf("%-8s failed: %v\n", name, err)
+			fmt.Printf("%-8s failed: %v\n", algo, err)
 			return
 		}
-		st := f.Stats()
+		setup, conn := f.Cost()
 		fmt.Printf("%-8s %10.2f %10.2f %10.2f %7d %7d\n",
-			name, st.TotalCost, st.SetupCost, st.ConnCost, st.Trees, st.UsedVMs)
+			algo, f.TotalCost(), setup, conn, f.Trees(), len(f.UsedVMs()))
 	}
-	f, err := core.SOFDA(net.G, req, opts)
-	report("SOFDA", f, err)
-	f, err = baseline.ENEMP(net.G, req, opts)
-	report("eNEMP", f, err)
-	f, err = baseline.EST(net.G, req, opts)
-	report("eST", f, err)
-	f, err = baseline.ST(net.G, req, opts)
-	report("ST", f, err)
+	run(sof.AlgorithmSOFDA)
+	run(sof.AlgorithmENEMP)
+	run(sof.AlgorithmEST)
+	run(sof.AlgorithmST)
 	if *exact {
-		f, err = sofexact.Solve(net.G, req, &sofexact.Options{VMs: net.VMs})
-		report("OPT", f, err)
+		run(sof.AlgorithmExact)
 	}
+	stats := solver.CacheStats()
+	fmt.Printf("\nsession cache: %d Dijkstra computations, %d warm hits\n", stats.Misses, stats.Hits)
 }

@@ -1,63 +1,60 @@
 // CDN scenario: a live channel with two regional source servers on the
 // SoftLayer inter-data-center network. Compares SOFDA against the
-// baselines and against the exact optimum, demonstrating why a multi-tree
-// forest beats one consolidated tree when viewers cluster in different
-// regions (the motivation of Fig. 1 in the paper).
+// baselines and against the exact optimum through one Solver session
+// (every algorithm reuses the same cached shortest-path state),
+// demonstrating why a multi-tree forest beats one consolidated tree when
+// viewers cluster in different regions (the motivation of Fig. 1 in the
+// paper).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
-	"sof/internal/baseline"
-	"sof/internal/core"
-	"sof/internal/sofexact"
+	"sof"
 	"sof/internal/topology"
 )
 
 func main() {
+	ctx := context.Background()
 	net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 7})
 	rng := rand.New(rand.NewSource(7))
-	req := core.Request{
-		Sources:  net.RandomNodes(rng, 8), // regional headends
-		Dests:    net.RandomNodes(rng, 6), // edge PoPs with viewers
-		ChainLen: 3,                       // transcode, ad-insert, watermark
+	req := sof.Request{
+		Sources:      net.RandomNodes(rng, 8), // regional headends
+		Destinations: net.RandomNodes(rng, 6), // edge PoPs with viewers
+		ChainLength:  3,                       // transcode, ad-insert, watermark
 	}
-	opts := &core.Options{VMs: net.VMs}
+	solver := sof.NewSolver(sof.FromGraph(net.G), sof.WithVMs(net.VMs...))
 
 	fmt.Println("live channel on SoftLayer: 8 candidate headends, 6 viewer PoPs, |C|=3")
 	fmt.Printf("%-8s %10s %7s %7s\n", "algo", "cost", "trees", "vms")
-	type result struct {
-		name string
-		run  func() (*core.Forest, error)
-	}
-	for _, r := range []result{
-		{"SOFDA", func() (*core.Forest, error) { return core.SOFDA(net.G, req, opts) }},
-		{"eNEMP", func() (*core.Forest, error) { return baseline.ENEMP(net.G, req, opts) }},
-		{"eST", func() (*core.Forest, error) { return baseline.EST(net.G, req, opts) }},
-		{"ST", func() (*core.Forest, error) { return baseline.ST(net.G, req, opts) }},
+	for _, algo := range []sof.Algorithm{
+		sof.AlgorithmSOFDA, sof.AlgorithmENEMP, sof.AlgorithmEST, sof.AlgorithmST,
 	} {
-		f, err := r.run()
+		f, err := solver.EmbedAlgorithm(ctx, req, algo)
 		if err != nil {
-			log.Fatalf("%s: %v", r.name, err)
+			log.Fatalf("%s: %v", algo, err)
 		}
-		if err := f.Validate(req.Sources, req.Dests); err != nil {
-			log.Fatalf("%s produced an infeasible forest: %v", r.name, err)
+		if err := f.Validate(); err != nil {
+			log.Fatalf("%s produced an infeasible forest: %v", algo, err)
 		}
-		st := f.Stats()
-		fmt.Printf("%-8s %10.2f %7d %7d\n", r.name, st.TotalCost, st.Trees, st.UsedVMs)
+		fmt.Printf("%-8s %10.2f %7d %7d\n", algo, f.TotalCost(), f.Trees(), len(f.UsedVMs()))
 	}
 
 	// Exact optimum on a reduced instance (the branch-and-bound proves
-	// optimality comfortably with a smaller VM pool and chain).
-	small := core.Request{Sources: req.Sources, Dests: req.Dests[:4], ChainLen: 2}
-	vms := net.VMs[:10]
-	opt, err := sofexact.Solve(net.G, small, &sofexact.Options{VMs: vms})
+	// optimality comfortably with a smaller VM pool and chain). The
+	// reduced session restricts the VM pool; its forests remember the
+	// restriction, so later dynamic operations could not leak onto the
+	// excluded VMs either.
+	small := sof.Request{Sources: req.Sources, Destinations: req.Destinations[:4], ChainLength: 2}
+	reduced := sof.NewSolver(sof.FromGraph(net.G), sof.WithVMs(net.VMs[:10]...))
+	opt, err := reduced.EmbedAlgorithm(ctx, small, sof.AlgorithmExact)
 	if err != nil {
 		log.Fatalf("exact: %v", err)
 	}
-	heur, err := core.SOFDA(net.G, small, &core.Options{VMs: vms})
+	heur, err := reduced.EmbedAlgorithm(ctx, small, sof.AlgorithmSOFDA)
 	if err != nil {
 		log.Fatal(err)
 	}

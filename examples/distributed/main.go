@@ -1,7 +1,10 @@
 // Distributed scenario: the SoftLayer network is split into three
 // controller domains; the leader gathers per-domain candidate chains and
 // completes SOFDA (Section VI). Confirms the distributed result matches
-// the centralized embedding.
+// the centralized embedding, with the centralized side solved through the
+// public Solver session. The domain oracles share the network's cost
+// epoch, so a cost change invalidates their caches lazily, exactly like
+// the centralized session's.
 package main
 
 import (
@@ -10,6 +13,7 @@ import (
 	"log"
 	"math/rand"
 
+	"sof"
 	"sof/internal/chain"
 	"sof/internal/core"
 	"sof/internal/dist"
@@ -19,26 +23,28 @@ import (
 func main() {
 	net := topology.SoftLayer(topology.Config{NumVMs: 20, Seed: 11})
 	rng := rand.New(rand.NewSource(11))
-	req := core.Request{
-		Sources:  net.RandomNodes(rng, 6),
-		Dests:    net.RandomNodes(rng, 5),
-		ChainLen: 2,
-	}
-	opts := &core.Options{VMs: net.VMs}
+	sources := net.RandomNodes(rng, 6)
+	dests := net.RandomNodes(rng, 5)
 
-	central, err := core.SOFDA(net.G, req, opts)
+	solver := sof.NewSolver(sof.FromGraph(net.G), sof.WithVMs(net.VMs...))
+	central, err := solver.Embed(context.Background(), sof.Request{
+		Sources: sources, Destinations: dests, ChainLength: 2,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	req := core.Request{Sources: sources, Dests: dests, ChainLen: 2}
 	cluster := dist.NewCluster(net.G, 3, chain.Options{})
 	defer cluster.Close()
-	distributed, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts})
+	distributed, err := cluster.SOFDA(context.Background(), req, dist.Options{
+		Core: &core.Options{VMs: net.VMs},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	fmt.Printf("centralized SOFDA:  cost=%.2f trees=%d\n", central.TotalCost(), central.NumTrees())
+	fmt.Printf("centralized SOFDA:  cost=%.2f trees=%d\n", central.TotalCost(), central.Trees())
 	fmt.Printf("distributed SOFDA:  cost=%.2f trees=%d (3 controller domains)\n",
 		distributed.TotalCost(), distributed.NumTrees())
 	if err := distributed.Validate(req.Sources, req.Dests); err != nil {

@@ -1,9 +1,12 @@
 // Dynamic scenario: viewers join and leave a running service forest and
 // the VNF chain itself is reconfigured (Section VII-C). The forest is
-// re-validated after every operation.
+// re-validated after every operation. All operations reuse the Solver
+// session's cached shortest-path trees — with no cost changes between
+// them, nothing is recomputed.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,11 +37,12 @@ func main() {
 		log.Fatal(err)
 	}
 
-	forest, err := net.Embed(sof.Request{
+	solver := sof.NewSolver(net)
+	forest, err := solver.Embed(context.Background(), sof.Request{
 		Sources:      []sof.NodeID{src},
 		Destinations: viewers[:2],
 		ChainLength:  2,
-	}, sof.AlgorithmSOFDA)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,4 +74,8 @@ func main() {
 		log.Fatal(err)
 	}
 	check("VNF f1 removed")
+
+	stats := solver.CacheStats()
+	fmt.Printf("session cache after all operations: %d Dijkstras, %d warm hits\n",
+		stats.Misses, stats.Hits)
 }

@@ -1,8 +1,10 @@
-// Quickstart: build a tiny network, embed a 2-VNF multicast service with
-// SOFDA, let a third viewer join dynamically, and print the forest.
+// Quickstart: build a tiny network, open a Solver session, embed a 2-VNF
+// multicast service with SOFDA, let a third viewer join dynamically, and
+// print the forest.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,11 +31,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	forest, err := net.Embed(sof.Request{
+	// The Solver session owns a shortest-path cache shared by every embed
+	// and dynamic operation that follows.
+	solver := sof.NewSolver(net)
+	forest, err := solver.Embed(context.Background(), sof.Request{
 		Sources:      []sof.NodeID{src},
 		Destinations: []sof.NodeID{viewerA, viewerB},
 		ChainLength:  2,
-	}, sof.AlgorithmSOFDA)
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -43,6 +48,8 @@ func main() {
 	fmt.Printf("trees=%d, VNFs on VMs %v, serving %v\n",
 		forest.Trees(), forest.UsedVMs(), forest.Destinations())
 
+	// The join reuses the session's cached trees: no cost changed, so no
+	// shortest-path work is repeated.
 	delta, err := forest.Join(viewerC)
 	if err != nil {
 		log.Fatal(err)

@@ -158,11 +158,15 @@ func run(ctx context.Context, g *graph.Graph, req core.Request, opts *core.Optio
 	if vms == nil {
 		vms = g.VMs()
 	}
+	oracle := o.Oracle
+	if oracle == nil {
+		oracle = chain.NewOracle(g, o.Chain)
+	}
 	b := &builder{
 		ctx:    ctx,
 		g:      g,
 		req:    req,
-		oracle: chain.NewOracle(g, o.Chain),
+		oracle: oracle,
 		vms:    vms,
 		kind:   kind,
 	}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"sof/internal/graph"
 	"sof/internal/kstroll"
@@ -136,6 +137,12 @@ type Options struct {
 // each tree exactly once even under concurrent demand (per-origin
 // singleflight), so parallel candidate generation does not duplicate
 // Dijkstra work or serialize on one lock while trees are being built.
+//
+// Entries are keyed by the graph's cost epoch: a tree computed at epoch e
+// is served only while graph.CostEpoch() == e, so cost mutations through
+// SetEdgeCost/SetNodeCost invalidate lazily — the next query at the new
+// epoch recomputes exactly the trees it touches, and an Oracle held across
+// a stream of unchanged-cost requests keeps answering from warm state.
 type Oracle struct {
 	g      *graph.Graph
 	solver kstroll.Solver
@@ -145,14 +152,21 @@ type Oracle struct {
 	// computation through its once, so readers only hold mu for the lookup.
 	mu    sync.RWMutex
 	trees map[graph.NodeID]*treeEntry
+
+	// hits counts tree lookups answered from a current-epoch cache entry;
+	// misses counts Dijkstra computations (cold or stale-epoch lookups).
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
-// treeEntry is a singleflight slot for one origin's Dijkstra tree: the
-// first goroutine to reach the entry computes the tree inside once, any
-// concurrent goroutine blocks on it instead of recomputing.
+// treeEntry is a singleflight slot for one origin's Dijkstra tree at one
+// cost epoch: the first goroutine to reach the entry computes the tree
+// inside once, any concurrent goroutine blocks on it instead of
+// recomputing. A stale-epoch entry is replaced wholesale on next access.
 type treeEntry struct {
-	once sync.Once
-	sp   *graph.ShortestPaths
+	epoch uint64
+	once  sync.Once
+	sp    *graph.ShortestPaths
 }
 
 // NewOracle returns an oracle over g.
@@ -173,29 +187,56 @@ func NewOracle(g *graph.Graph, opts Options) *Oracle {
 func (o *Oracle) Graph() *graph.Graph { return o.g }
 
 func (o *Oracle) tree(n graph.NodeID) *graph.ShortestPaths {
+	epoch := o.g.CostEpoch()
 	o.mu.RLock()
 	e, ok := o.trees[n]
 	o.mu.RUnlock()
-	if !ok {
+	if !ok || e.epoch != epoch {
 		o.mu.Lock()
-		if e, ok = o.trees[n]; !ok {
-			e = &treeEntry{}
+		if e, ok = o.trees[n]; !ok || e.epoch != epoch {
+			e = &treeEntry{epoch: epoch}
 			o.trees[n] = e
 		}
 		o.mu.Unlock()
 	}
-	e.once.Do(func() { e.sp = graph.Dijkstra(o.g, n) })
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		o.misses.Add(1)
+		e.sp = graph.Dijkstra(o.g, n)
+	})
+	if hit {
+		o.hits.Add(1)
+	}
 	return e.sp
 }
 
-// InvalidateCache drops all cached shortest-path trees. Call after edge
-// costs change (online/load-aware scenarios). Queries already in flight may
-// finish against the trees they have resolved; queries started afterwards
-// see fresh trees.
+// CacheStats is a point-in-time snapshot of the oracle's tree cache
+// counters. Misses equals the number of Dijkstra computations performed;
+// Hits counts lookups answered from a current-epoch entry (including
+// waiters that shared an in-flight computation).
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats returns the cache counters. The two fields are loaded separately,
+// so under concurrent queries the snapshot is advisory rather than an
+// atomic pair — exact for the quiesced points tests and benchmarks read it
+// at.
+func (o *Oracle) Stats() CacheStats {
+	return CacheStats{Hits: o.hits.Load(), Misses: o.misses.Load()}
+}
+
+// InvalidateCache marks every cached shortest-path tree stale by advancing
+// the graph's cost epoch; entries are replaced lazily as queries touch
+// them. Explicit calls are only needed after cost mutations that bypass
+// SetEdgeCost/SetNodeCost (those bump the epoch themselves). Note the bump
+// is visible to every epoch-keyed cache over the same graph, not just this
+// oracle. Queries already in flight may finish against the trees they have
+// resolved; queries started afterwards see fresh trees.
 func (o *Oracle) InvalidateCache() {
-	o.mu.Lock()
-	o.trees = make(map[graph.NodeID]*treeEntry)
-	o.mu.Unlock()
+	o.g.BumpCostEpoch()
 }
 
 // Chain finds a low-cost service chain from source s to last VM u visiting

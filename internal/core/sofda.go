@@ -167,7 +167,7 @@ func SOFDAFromCandidatesCtx(ctx context.Context, g *graph.Graph, req Request, op
 	}
 	o := optsOrDefault(opts)
 	vms := o.vms(g)
-	oracle := chain.NewOracle(g, o.Chain)
+	oracle := o.oracle(g)
 	aux, err := buildAuxGraphFromCandidates(g, req.Sources, vms, req.ChainLen, candidates)
 	if err != nil {
 		return nil, err
@@ -247,7 +247,7 @@ func SOFDACtx(ctx context.Context, g *graph.Graph, req Request, opts *Options) (
 	}
 	o := optsOrDefault(opts)
 	vms := o.vms(g)
-	oracle := chain.NewOracle(g, o.Chain)
+	oracle := o.oracle(g)
 
 	aux, err := buildAuxGraph(ctx, g, oracle, req.Sources, vms, req.ChainLen, o.Parallelism)
 	if err != nil {

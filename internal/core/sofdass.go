@@ -46,8 +46,14 @@ func (r *Request) Validate(g *graph.Graph) error {
 // Options configure the embedding algorithms.
 type Options struct {
 	// Chain configures the chain oracle (k-stroll solver, Appendix D
-	// source costs).
+	// source costs). Ignored when Oracle is set.
 	Chain chain.Options
+	// Oracle, when non-nil, is used instead of constructing a throwaway
+	// oracle per call. It must be an oracle over the same graph the
+	// algorithm runs on; long-lived callers (sof.Solver, the distributed
+	// domains) share one so Dijkstra trees computed for earlier requests
+	// stay warm across a request stream (epoch-keyed, see chain.Oracle).
+	Oracle *chain.Oracle
 	// VMs restricts the candidate VM set; all VMs of the graph when nil.
 	VMs []graph.NodeID
 	// Parallelism bounds the worker pool used for candidate-chain
@@ -67,6 +73,15 @@ func optsOrDefault(opts *Options) Options {
 		return Options{}
 	}
 	return *opts
+}
+
+// oracle returns the shared oracle when the caller supplied one, or a
+// fresh single-use oracle over g otherwise.
+func (o *Options) oracle(g *graph.Graph) *chain.Oracle {
+	if o != nil && o.Oracle != nil {
+		return o.Oracle
+	}
+	return chain.NewOracle(g, o.Chain)
 }
 
 // ctxOrBackground normalizes a nil context; every exported Ctx entry point
@@ -99,7 +114,7 @@ func SOFDASSCtx(ctx context.Context, g *graph.Graph, source graph.NodeID, dests 
 	}
 	o := optsOrDefault(opts)
 	vms := o.vms(g)
-	oracle := chain.NewOracle(g, o.Chain)
+	oracle := o.oracle(g)
 
 	if chainLen == 0 {
 		// Degenerate case: no VNFs; the forest is a Steiner tree rooted at

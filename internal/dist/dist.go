@@ -137,17 +137,15 @@ func (d *domain) serve() {
 // NumDomains returns the number of controller domains.
 func (c *Cluster) NumDomains() int { return len(c.domains) }
 
-// InvalidateCache drops every domain oracle's cached shortest-path trees.
-// Call after edge costs change on the shared graph (online/load-aware
-// scenarios); without it the long-lived domain oracles would keep
-// answering from pre-mutation trees and the distributed cost could
-// silently diverge from a fresh centralized run.
+// InvalidateCache marks every domain oracle's cached shortest-path trees
+// stale with a single cost-epoch bump on the shared graph; each domain
+// replaces exactly the trees its next queries touch. Explicit calls are
+// only needed after cost mutations that bypass the graph's setters — the
+// setters advance the epoch themselves, so in the common online/load-aware
+// loop the long-lived domain oracles stay correct (and stay warm across
+// re-pricing passes that did not change any cost) with no call at all.
 func (c *Cluster) InvalidateCache() {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	for _, d := range c.domains {
-		d.oracle.InvalidateCache()
-	}
+	c.g.BumpCostEpoch()
 }
 
 // domainOf maps a node to its owning domain by contiguous ID range.

@@ -13,9 +13,11 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
+	"sof"
 	"sof/internal/core"
 	"sof/internal/costmodel"
 	"sof/internal/graph"
@@ -109,10 +111,16 @@ func Evaluate(algo online.Algorithm, p Profile) (*QoE, error) {
 	picks := graph.SampleDistinct(rng, net.Access, 6)
 	req := core.Request{Sources: picks[:2], Dests: picks[2:], ChainLen: 2}
 
-	forest, err := online.Embed(algo, net.G, req, &core.Options{VMs: net.VMs})
+	solver := sof.NewSolver(sof.FromGraph(net.G),
+		sof.WithAlgorithm(sof.Algorithm(algo)),
+		sof.WithVMs(net.VMs...))
+	embedded, err := solver.Embed(context.Background(), sof.Request{
+		Sources: req.Sources, Destinations: req.Dests, ChainLength: req.ChainLen,
+	})
 	if err != nil {
 		return nil, fmt.Errorf("emu: embedding failed: %w", err)
 	}
+	forest := embedded.Internal()
 
 	// Copies per physical edge: each live clone's parent link carries one
 	// copy of the stream (multicast duplicates only at branch clones).

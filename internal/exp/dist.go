@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"sof"
 	"sof/internal/chain"
 	"sof/internal/core"
 	"sof/internal/dist"
@@ -50,7 +51,9 @@ func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int) ([]Dist
 			}
 			opts := &core.Options{VMs: net.VMs}
 			start := time.Now()
-			central, err := core.SOFDA(net.G, req, opts)
+			central, err := newSolver(net).Embed(context.Background(), sof.Request{
+				Sources: req.Sources, Destinations: req.Dests, ChainLength: req.ChainLen,
+			})
 			if err != nil {
 				return nil, fmt.Errorf("exp: centralized SOFDA on %s: %w", kind, err)
 			}

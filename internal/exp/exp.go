@@ -5,18 +5,17 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
 	"time"
 
-	"sof/internal/baseline"
-	"sof/internal/core"
+	"sof"
 	"sof/internal/costmodel"
 	"sof/internal/emu"
 	"sof/internal/online"
-	"sof/internal/sofexact"
 	"sof/internal/topology"
 )
 
@@ -159,17 +158,20 @@ func CostSweep(kind NetKind, param SweepParam, runs int, withOptimal bool, inetN
 				return nil, err
 			}
 			rng := rand.New(rand.NewSource(seed))
-			req := core.Request{
-				Sources:  net.RandomNodes(rng, min(nSrc, len(net.Access))),
-				Dests:    net.RandomNodes(rng, min(nDst, len(net.Access))),
-				ChainLen: chainLen,
+			req := sof.Request{
+				Sources:      net.RandomNodes(rng, min(nSrc, len(net.Access))),
+				Destinations: net.RandomNodes(rng, min(nDst, len(net.Access))),
+				ChainLength:  chainLen,
 			}
 			if chainLen > nVM {
 				continue
 			}
-			opts := &core.Options{VMs: net.VMs}
+			// One session per instance: all algorithms of the comparison
+			// share its shortest-path cache, so the per-point Dijkstra
+			// work is paid once rather than once per algorithm.
+			solver := newSolver(net)
 			for _, a := range algos {
-				f, err := runAlgo(a, net, req, opts)
+				f, err := runAlgo(solver, a, req)
 				if err != nil {
 					continue
 				}
@@ -188,49 +190,33 @@ func CostSweep(kind NetKind, param SweepParam, runs int, withOptimal bool, inetN
 	return s, nil
 }
 
-func runAlgo(name string, net *topology.Network, req core.Request, opts *core.Options) (float64, error) {
-	switch name {
-	case "SOFDA":
-		f, err := core.SOFDA(net.G, req, opts)
-		if err != nil {
-			return 0, err
-		}
-		return f.TotalCost(), nil
-	case "eNEMP":
-		f, err := baseline.ENEMP(net.G, req, opts)
-		if err != nil {
-			return 0, err
-		}
-		return f.TotalCost(), nil
-	case "eST":
-		f, err := baseline.EST(net.G, req, opts)
-		if err != nil {
-			return 0, err
-		}
-		return f.TotalCost(), nil
-	case "ST":
-		f, err := baseline.ST(net.G, req, opts)
-		if err != nil {
-			return 0, err
-		}
-		return f.TotalCost(), nil
-	case "OPT":
-		// The exact solver's Dreyfus–Wagner core is exponential in the
-		// destination count and its branch-and-bound in the VM conflicts;
-		// like the paper's CPLEX runs, the optimal line is produced only
-		// where optimality is proven quickly (a small branch budget makes
-		// unprovable points fail fast instead of stalling the sweep).
-		if len(req.Dests) > 6 || req.ChainLen > 4 {
+// newSolver opens the harness's standard session on net: all VMs of the
+// topology as candidates and a small exact-solver branch budget — like the
+// paper's CPLEX runs, the optimal line is produced only where optimality
+// is proven quickly, so unprovable points fail fast instead of stalling a
+// sweep.
+func newSolver(net *topology.Network) *sof.Solver {
+	return sof.NewSolver(sof.FromGraph(net.G),
+		sof.WithVMs(net.VMs...),
+		sof.WithExactBranchBudget(400))
+}
+
+// runAlgo embeds req through the session with the named algorithm. "OPT"
+// maps to AlgorithmExact; its Dreyfus–Wagner core is exponential in the
+// destination count, so oversized instances are refused up front.
+func runAlgo(solver *sof.Solver, name string, req sof.Request) (float64, error) {
+	algo := sof.Algorithm(name)
+	if name == "OPT" {
+		if len(req.Destinations) > 6 || req.ChainLength > 4 {
 			return 0, fmt.Errorf("exp: instance too large for the exact solver")
 		}
-		f, err := sofexact.Solve(net.G, req, &sofexact.Options{VMs: opts.VMs, MaxBranchNodes: 400})
-		if err != nil {
-			return 0, err
-		}
-		return f.TotalCost(), nil
-	default:
-		return 0, fmt.Errorf("exp: unknown algorithm %q", name)
+		algo = sof.AlgorithmExact
 	}
+	f, err := solver.EmbedAlgorithm(context.Background(), req, algo)
+	if err != nil {
+		return 0, err
+	}
+	return f.TotalCost(), nil
 }
 
 // Fig11 reproduces Figure 11: (a) cost and (b) average used VMs as the VM
@@ -255,12 +241,12 @@ func Fig11(runs int) (costS, vmS *Series, err error) {
 					NumVMs: DefaultVMs, Seed: seed, SetupCostMultiplier: float64(m),
 				})
 				rng := rand.New(rand.NewSource(seed))
-				req := core.Request{
-					Sources:  net.RandomNodes(rng, DefaultSources),
-					Dests:    net.RandomNodes(rng, DefaultDests),
-					ChainLen: c,
+				req := sof.Request{
+					Sources:      net.RandomNodes(rng, DefaultSources),
+					Destinations: net.RandomNodes(rng, DefaultDests),
+					ChainLength:  c,
 				}
-				f, err := core.SOFDA(net.G, req, &core.Options{VMs: net.VMs})
+				f, err := newSolver(net).Embed(context.Background(), req)
 				if err != nil {
 					continue
 				}
@@ -303,13 +289,15 @@ func Table1(nodeSizes []int, srcCounts []int) ([]Table1Row, error) {
 		}
 		for _, s := range srcCounts {
 			rng := rand.New(rand.NewSource(int64(n + s)))
-			req := core.Request{
-				Sources:  net.RandomNodes(rng, s),
-				Dests:    net.RandomNodes(rng, DefaultDests),
-				ChainLen: DefaultChain,
+			req := sof.Request{
+				Sources:      net.RandomNodes(rng, s),
+				Destinations: net.RandomNodes(rng, DefaultDests),
+				ChainLength:  DefaultChain,
 			}
+			// A fresh session per measurement keeps Table I a cold-cache
+			// runtime, matching the paper's independent runs.
 			start := time.Now()
-			if _, err := core.SOFDA(net.G, req, &core.Options{VMs: net.VMs}); err != nil {
+			if _, err := newSolver(net).Embed(context.Background(), req); err != nil {
 				return nil, err
 			}
 			row.Seconds[s] = time.Since(start).Seconds()

@@ -1,0 +1,41 @@
+package graph
+
+import "testing"
+
+func TestCostEpochAdvancesOnlyOnChange(t *testing.T) {
+	g := New(4, 4)
+	a := g.AddSwitch("a")
+	v := g.AddVM("v", 2)
+	e := g.MustAddEdge(a, v, 1)
+	if got := g.CostEpoch(); got != 0 {
+		t.Fatalf("fresh graph epoch = %d", got)
+	}
+
+	g.SetEdgeCost(e, 1) // unchanged value
+	g.SetNodeCost(v, 2) // unchanged value
+	if got := g.CostEpoch(); got != 0 {
+		t.Errorf("same-value sets advanced epoch to %d", got)
+	}
+
+	g.SetEdgeCost(e, 3)
+	if got := g.CostEpoch(); got != 1 {
+		t.Errorf("edge cost change: epoch = %d, want 1", got)
+	}
+	g.SetNodeCost(v, 5)
+	if got := g.CostEpoch(); got != 2 {
+		t.Errorf("node cost change: epoch = %d, want 2", got)
+	}
+	g.BumpCostEpoch()
+	if got := g.CostEpoch(); got != 3 {
+		t.Errorf("explicit bump: epoch = %d, want 3", got)
+	}
+
+	c := g.Clone()
+	if c.CostEpoch() != g.CostEpoch() {
+		t.Errorf("clone epoch %d != original %d", c.CostEpoch(), g.CostEpoch())
+	}
+	c.SetEdgeCost(e, 7)
+	if c.CostEpoch() == g.CostEpoch() {
+		t.Error("clone epoch tracks the original after divergence")
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Kind discriminates node roles in the network.
@@ -85,6 +86,12 @@ type Graph struct {
 	nodes []Node
 	edges []Edge
 	adj   [][]Arc
+	// epoch counts cost generations: it advances whenever a node or edge
+	// cost actually changes (or on an explicit BumpCostEpoch), so caches
+	// keyed by it can tell stale derived state from fresh without being
+	// dropped eagerly. Topology is immutable after construction, so the
+	// epoch fully identifies the cost surface.
+	epoch atomic.Uint64
 }
 
 // New returns an empty graph with capacity hints.
@@ -167,11 +174,38 @@ func (g *Graph) NodeCost(id NodeID) float64 { return g.nodes[id].Cost }
 func (g *Graph) EdgeCost(id EdgeID) float64 { return g.edges[id].Cost }
 
 // SetNodeCost updates the setup cost of a node (used by load-aware pricing).
-func (g *Graph) SetNodeCost(id NodeID, cost float64) { g.nodes[id].Cost = cost }
+// The cost epoch advances only when the value actually changes, so blanket
+// re-pricing passes that rewrite unchanged costs keep epoch-keyed caches
+// warm.
+func (g *Graph) SetNodeCost(id NodeID, cost float64) {
+	if g.nodes[id].Cost == cost {
+		return
+	}
+	g.nodes[id].Cost = cost
+	g.epoch.Add(1)
+}
 
 // SetEdgeCost updates the connection cost of an edge (used by load-aware
-// pricing).
-func (g *Graph) SetEdgeCost(id EdgeID, cost float64) { g.edges[id].Cost = cost }
+// pricing). Like SetNodeCost, it advances the cost epoch only on an actual
+// change.
+func (g *Graph) SetEdgeCost(id EdgeID, cost float64) {
+	if g.edges[id].Cost == cost {
+		return
+	}
+	g.edges[id].Cost = cost
+	g.epoch.Add(1)
+}
+
+// CostEpoch returns the current cost generation. Derived state (shortest-
+// path trees, candidate chains) computed at epoch e is valid exactly while
+// CostEpoch() == e.
+func (g *Graph) CostEpoch() uint64 { return g.epoch.Load() }
+
+// BumpCostEpoch force-advances the cost epoch, lazily invalidating every
+// epoch-keyed cache over this graph without touching any of them. It exists
+// for callers that mutated costs through means the setters cannot see, or
+// that want an explicit full invalidation.
+func (g *Graph) BumpCostEpoch() { g.epoch.Add(1) }
 
 // Adj returns the adjacency list of n. The returned slice must not be
 // modified by the caller.
@@ -229,6 +263,7 @@ func (g *Graph) Clone() *Graph {
 	for i, a := range g.adj {
 		out.adj[i] = append([]Arc(nil), a...)
 	}
+	out.epoch.Store(g.epoch.Load())
 	return out
 }
 

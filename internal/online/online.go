@@ -4,20 +4,28 @@
 // demand is added to the links and VMs it uses, and all costs are re-priced
 // with the Fortz–Thorup function before the next arrival. The accumulated
 // cost curve reproduces Figure 12.
+//
+// The simulator drives a single long-lived sof.Solver session: candidate
+// shortest-path state is cached across arrivals and invalidated lazily
+// through the network's cost epoch, so steps whose re-pricing did not
+// actually change any cost embed from a warm cache.
 package online
 
 import (
-	"fmt"
+	"context"
 	"math/rand"
 
-	"sof/internal/baseline"
+	"sof"
 	"sof/internal/core"
 	"sof/internal/costmodel"
 	"sof/internal/graph"
 	"sof/internal/topology"
 )
 
-// Algorithm names an embedding algorithm for the simulator.
+// Algorithm names an embedding algorithm for the simulator. The values
+// coincide with the public sof.Algorithm identifiers; the simulator
+// forwards them to its Solver session (there is deliberately no second
+// dispatch switch here).
 type Algorithm string
 
 // Supported algorithms.
@@ -27,22 +35,6 @@ const (
 	AlgoEST   Algorithm = "eST"
 	AlgoST    Algorithm = "ST"
 )
-
-// Embed runs the named algorithm.
-func Embed(algo Algorithm, g *graph.Graph, req core.Request, opts *core.Options) (*core.Forest, error) {
-	switch algo {
-	case AlgoSOFDA:
-		return core.SOFDA(g, req, opts)
-	case AlgoENEMP:
-		return baseline.ENEMP(g, req, opts)
-	case AlgoEST:
-		return baseline.EST(g, req, opts)
-	case AlgoST:
-		return baseline.ST(g, req, opts)
-	default:
-		return nil, fmt.Errorf("online: unknown algorithm %q", algo)
-	}
-}
 
 // Config parameterizes a simulation run.
 type Config struct {
@@ -87,15 +79,19 @@ type Result struct {
 	Trees       int
 	UsedVMs     int
 	Rejected    bool
+	// Err is the embedding error behind a rejection (nil for accepted
+	// requests).
+	Err error
 }
 
-// Simulator owns the network state: per-link and per-VM load trackers and
-// the request stream.
+// Simulator owns the network state: per-link and per-VM load trackers, the
+// request stream, and the Solver session all arrivals are embedded
+// through.
 type Simulator struct {
-	net  *topology.Network
-	cfg  Config
-	algo Algorithm
-	rng  *rand.Rand
+	net    *topology.Network
+	cfg    Config
+	solver *sof.Solver
+	rng    *rand.Rand
 
 	linkLoad *costmodel.Tracker
 	vmLoad   *costmodel.Tracker
@@ -109,9 +105,11 @@ type Simulator struct {
 // (Section VIII-A: "the node/link usages are zero initially").
 func NewSimulator(net *topology.Network, algo Algorithm, cfg Config) *Simulator {
 	s := &Simulator{
-		net:      net,
-		cfg:      cfg,
-		algo:     algo,
+		net: net,
+		cfg: cfg,
+		solver: sof.NewSolver(sof.FromGraph(net.G),
+			sof.WithAlgorithm(sof.Algorithm(algo)),
+			sof.WithVMs(net.VMs...)),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		linkLoad: costmodel.NewTracker(net.G.NumEdges(), cfg.LinkCapacity),
 		vmLoad:   costmodel.NewTracker(len(net.VMs), cfg.VMCapacity),
@@ -124,7 +122,13 @@ func NewSimulator(net *topology.Network, algo Algorithm, cfg Config) *Simulator 
 	return s
 }
 
-// reprice rewrites every edge and VM cost from its current load.
+// Solver exposes the session the simulator embeds through (cache counters
+// for tests and benchmarks).
+func (s *Simulator) Solver() *sof.Solver { return s.solver }
+
+// reprice rewrites every edge and VM cost from its current load. Costs
+// that come out unchanged do not advance the network's epoch, so the
+// session cache survives re-pricing passes that were no-ops.
 func (s *Simulator) reprice() {
 	for e := 0; e < s.net.G.NumEdges(); e++ {
 		s.net.G.SetEdgeCost(graph.EdgeID(e), costmodel.MarginalCost(s.linkLoad.Load(e), s.cfg.Demand, s.cfg.LinkCapacity))
@@ -134,11 +138,21 @@ func (s *Simulator) reprice() {
 	}
 }
 
-// Step generates and embeds the next request, updates loads and prices, and
-// returns the step result. A request that cannot be embedded is reported
-// as rejected (its cost does not accumulate).
+// Step generates and embeds the next request, updates loads and prices,
+// and returns the step result; see StepCtx for the cancellable form.
 func (s *Simulator) Step() Result {
-	s.step++
+	r, _ := s.StepCtx(context.Background())
+	return r
+}
+
+// StepCtx is Step with cancellation: once ctx is done the in-flight
+// embedding aborts and the step is not counted. A request that cannot be
+// embedded for any other reason is reported as rejected (its cost does not
+// accumulate; the cause lands in Result.Err).
+func (s *Simulator) StepCtx(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	nSrc := s.cfg.SrcRange[0] + s.rng.Intn(s.cfg.SrcRange[1]-s.cfg.SrcRange[0]+1)
 	nDst := s.cfg.DstRange[0] + s.rng.Intn(s.cfg.DstRange[1]-s.cfg.DstRange[0]+1)
 	if nSrc > len(s.net.Access) {
@@ -147,26 +161,31 @@ func (s *Simulator) Step() Result {
 	if nDst > len(s.net.Access) {
 		nDst = len(s.net.Access)
 	}
-	req := core.Request{
-		Sources:  s.net.RandomNodes(s.rng, nSrc),
-		Dests:    s.net.RandomNodes(s.rng, nDst),
-		ChainLen: s.cfg.ChainLen,
+	req := sof.Request{
+		Sources:      s.net.RandomNodes(s.rng, nSrc),
+		Destinations: s.net.RandomNodes(s.rng, nDst),
+		ChainLength:  s.cfg.ChainLen,
 	}
-	forest, err := Embed(s.algo, s.net.G, req, &core.Options{VMs: s.net.VMs})
+	forest, err := s.solver.Embed(ctx, req)
 	if err != nil {
-		return Result{Request: s.step, Rejected: true, Accumulated: s.accumulated}
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Result{}, ctxErr
+		}
+		s.step++
+		return Result{Request: s.step, Rejected: true, Err: err, Accumulated: s.accumulated}, nil
 	}
+	s.step++
 	res := Result{
 		Request: s.step,
 		Cost:    forest.TotalCost(),
-		Trees:   forest.NumTrees(),
+		Trees:   forest.Trees(),
 		UsedVMs: len(forest.UsedVMs()),
 	}
-	s.apply(forest)
+	s.apply(forest.Internal())
 	s.accumulated += res.Cost
 	res.Accumulated = s.accumulated
 	s.reprice()
-	return res
+	return res, nil
 }
 
 // apply adds the forest's demand to the trackers: every clone's parent link
@@ -198,13 +217,25 @@ func forestEdges(f *core.Forest) []graph.EdgeID {
 	return out
 }
 
-// Run executes n steps and returns their results.
+// Run executes n steps and returns their results; see RunCtx for the
+// cancellable form.
 func (s *Simulator) Run(n int) []Result {
+	out, _ := s.RunCtx(context.Background(), n)
+	return out
+}
+
+// RunCtx executes up to n steps, stopping early (with the results
+// gathered so far and ctx.Err()) once ctx is done.
+func (s *Simulator) RunCtx(ctx context.Context, n int) ([]Result, error) {
 	out := make([]Result, 0, n)
 	for i := 0; i < n; i++ {
-		out = append(out, s.Step())
+		r, err := s.StepCtx(ctx)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
 	}
-	return out
+	return out, nil
 }
 
 // Accumulated returns the total accepted cost so far.

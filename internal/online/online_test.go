@@ -1,9 +1,11 @@
 package online
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 
-	"sof/internal/core"
 	"sof/internal/graph"
 	"sof/internal/topology"
 )
@@ -82,11 +84,48 @@ func TestAllAlgorithmsRunOnline(t *testing.T) {
 	}
 }
 
-func TestEmbedUnknownAlgorithm(t *testing.T) {
+func TestUnknownAlgorithmRejects(t *testing.T) {
 	net := topology.SoftLayer(topology.Config{NumVMs: 5, Seed: 4})
-	req := core.Request{Sources: net.Access[:1], Dests: net.Access[1:2], ChainLen: 1}
-	if _, err := Embed("nope", net.G, req, nil); err == nil {
-		t.Fatal("unknown algorithm accepted")
+	sim := NewSimulator(net, "nope", smallConfig())
+	res, err := sim.StepCtx(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Rejected || res.Err == nil {
+		t.Fatalf("unknown algorithm accepted: %+v", res)
+	}
+	if !strings.Contains(res.Err.Error(), "unknown algorithm") {
+		t.Errorf("rejection error = %v, want unknown-algorithm", res.Err)
+	}
+}
+
+func TestSimulationCancellable(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 6})
+	sim := NewSimulator(net, AlgoSOFDA, smallConfig())
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.StepCtx(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("StepCtx error = %v, want context.Canceled", err)
+	}
+
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	done, err := sim.RunCtx(ctx2, 2)
+	cancel2()
+	if err != nil {
+		t.Fatalf("RunCtx before cancel: %v", err)
+	}
+	if len(done) != 2 {
+		t.Fatalf("RunCtx returned %d results, want 2", len(done))
+	}
+	if more, err := sim.RunCtx(ctx2, 5); err == nil || len(more) != 0 {
+		t.Fatalf("RunCtx after cancel = (%d results, %v), want (0, error)", len(more), err)
+	}
+	// A cancelled step must not count: the next background step continues
+	// the sequence.
+	r := sim.Step()
+	if r.Request != 3 {
+		t.Errorf("step counter = %d after cancelled steps, want 3", r.Request)
 	}
 }
 

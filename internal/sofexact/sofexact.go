@@ -15,6 +15,7 @@ package sofexact
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -116,6 +117,17 @@ func buildLayered(g *graph.Graph, sources []graph.NodeID, vms map[graph.NodeID]b
 // Solve returns an optimal forest for the request, or an error when the
 // instance is too large, infeasible, or the branch budget is exhausted.
 func Solve(g *graph.Graph, req core.Request, opts *Options) (*core.Forest, error) {
+	return SolveCtx(context.Background(), g, req, opts)
+}
+
+// SolveCtx is Solve with cancellation: ctx is observed at every
+// branch-and-bound node expansion, so a mid-run cancellation aborts the
+// search before the next relaxation is solved (each node still pays one
+// full Dreyfus–Wagner pass, which bounds the cancellation latency).
+func SolveCtx(ctx context.Context, g *graph.Graph, req core.Request, opts *Options) (*core.Forest, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := req.Validate(g); err != nil {
 		return nil, err
 	}
@@ -169,6 +181,9 @@ func Solve(g *graph.Graph, req core.Request, opts *Options) (*core.Forest, error
 	nodes := 0
 	var rec func() error
 	rec = func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		nodes++
 		if nodes > maxNodes {
 			return errors.New("sofexact: branch budget exhausted")

@@ -1,6 +1,8 @@
 package sofexact
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -227,5 +229,28 @@ func TestSOFDAWithinBoundOfExact(t *testing.T) {
 	t.Logf("worst SOFDA/OPT ratio over %d instances: %.4f", checked, worst)
 	if checked < 15 {
 		t.Fatalf("only %d instances checked", checked)
+	}
+}
+
+// TestSolveCtxCancelled pins the cancellation contract of SolveCtx: ctx is
+// observed at branch-and-bound node expansion, so an already-cancelled
+// context aborts the search before any node is expanded — even when a
+// primed incumbent would otherwise be a valid answer.
+func TestSolveCtxCancelled(t *testing.T) {
+	g, req := lineNet()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, noPrime := range []bool{false, true} {
+		if _, err := SolveCtx(ctx, g, req, &Options{NoPrime: noPrime}); !errors.Is(err, context.Canceled) {
+			t.Errorf("NoPrime=%v: err = %v, want context.Canceled", noPrime, err)
+		}
+	}
+	// A live context still solves to optimality through the same path.
+	f, err := SolveCtx(context.Background(), g, req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.TotalCost()-8) > 1e-9 {
+		t.Fatalf("cost = %v, want 8", f.TotalCost())
 	}
 }

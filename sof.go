@@ -4,8 +4,8 @@
 //
 // A service overlay forest connects every destination of a multicast
 // service to a source through an ordered chain of virtual network
-// functions, using multiple trees when that is cheaper. The package wraps
-// the internal solvers behind a small surface:
+// functions, using multiple trees when that is cheaper. The primary entry
+// point is the Solver, a long-lived session over one network:
 //
 //	b := sof.NewNetworkBuilder()
 //	s := b.AddSwitch("src")
@@ -13,28 +13,40 @@
 //	v2 := b.AddVM("vm2", 3)
 //	d := b.AddSwitch("dst")
 //	b.Link(s, v1, 1); b.Link(v1, v2, 1); b.Link(v2, d, 1)
-//	net := b.Build()
-//	forest, _ := net.Embed(sof.Request{
+//	net, _ := b.Build()
+//	solver := sof.NewSolver(net)
+//	forest, _ := solver.Embed(ctx, sof.Request{
 //		Sources: []sof.NodeID{s}, Destinations: []sof.NodeID{d}, ChainLength: 2,
-//	}, sof.AlgorithmSOFDA)
+//	})
 //	fmt.Println(forest.TotalCost())
+//
+// The Solver owns a shortest-path cache shared by every request of the
+// session, keyed by the network's cost epoch: SetLinkCost/SetVMCost advance
+// the epoch only when a cost actually changes, so request streams under
+// unchanged costs (the online scenario of Section VIII-C) are answered from
+// warm state instead of re-deriving all candidate chains per request.
+// Beyond single embeds the session offers EmbedBatch (many requests, one
+// fan-out) and EmbedStream (online arrivals on a channel).
 //
 // Algorithms: SOFDA (the paper's 3ρST-approximation), SOFDASS (single
 // source), the baselines eNEMP/eST/ST, and Exact (optimal, small instances
 // only). Dynamic operations (join/leave/VNF changes) are exposed on the
-// Forest type.
+// Forest type and reuse the session cache of the Solver that embedded it.
+//
+// # Compatibility
+//
+// Network.Embed and Network.EmbedContext remain as thin wrappers that open
+// a one-shot Solver per call — existing callers keep working, but they pay
+// the full candidate-chain derivation on every request and should migrate
+// to a shared Solver.
 package sof
 
 import (
 	"context"
-	"errors"
-	"fmt"
 
-	"sof/internal/baseline"
 	"sof/internal/chain"
 	"sof/internal/core"
 	"sof/internal/graph"
-	"sof/internal/sofexact"
 )
 
 // NodeID identifies a node in a Network.
@@ -116,17 +128,24 @@ func FromGraph(g *graph.Graph) *Network { return &Network{g: g} }
 // Graph exposes the underlying graph for advanced use.
 func (n *Network) Graph() *graph.Graph { return n.g }
 
-// SetLinkCost updates a link's connection cost.
+// SetLinkCost updates a link's connection cost. If the value actually
+// changes, the network's cost epoch advances and every Solver session's
+// cached shortest-path state over this network becomes stale — it is
+// refreshed lazily, one tree at a time, as the next embeds touch it.
+// Setting a cost to its current value is a no-op and keeps caches warm.
 func (n *Network) SetLinkCost(e EdgeID, cost float64) { n.g.SetEdgeCost(e, cost) }
 
-// SetVMCost updates a VM's setup cost.
+// SetVMCost updates a VM's setup cost, with the same epoch semantics as
+// SetLinkCost: only an actual change invalidates (lazily) the session
+// caches.
 func (n *Network) SetVMCost(v NodeID, cost float64) { n.g.SetNodeCost(v, cost) }
 
 // VMs lists the VM nodes.
 func (n *Network) VMs() []NodeID { return n.g.VMs() }
 
 // EmbedOptions tune how an embedding is computed without changing the
-// problem it solves.
+// problem it solves. They are the one-shot counterpart of the Solver
+// construction options.
 type EmbedOptions struct {
 	// Parallelism bounds the worker pool used for candidate-chain
 	// generation: GOMAXPROCS when <= 0 (or when EmbedOptions is nil),
@@ -138,6 +157,10 @@ type EmbedOptions struct {
 }
 
 // Embed computes a service overlay forest for the request.
+//
+// Compatibility wrapper: it opens a one-shot Solver per call, so nothing
+// is cached across requests. Callers embedding more than once on the same
+// network should hold a Solver instead.
 func (n *Network) Embed(req Request, algo Algorithm) (*Forest, error) {
 	return n.EmbedContext(context.Background(), req, algo, nil)
 }
@@ -146,62 +169,46 @@ func (n *Network) Embed(req Request, algo Algorithm) (*Forest, error) {
 // execution options: the embedding aborts with ctx.Err() once ctx is done,
 // and for SOFDA and SOFDA-SS candidate-chain generation fans out across
 // opts.Parallelism workers. A nil opts uses the defaults. AlgorithmExact
-// checks ctx only on entry: its branch-and-bound search does not observe
-// cancellation mid-run.
+// observes cancellation at every branch-and-bound node expansion.
+//
+// Compatibility wrapper: like Embed, it opens a one-shot Solver per call.
 func (n *Network) EmbedContext(ctx context.Context, req Request, algo Algorithm, opts *EmbedOptions) (*Forest, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	creq := core.Request{Sources: req.Sources, Dests: req.Destinations, ChainLen: req.ChainLength}
-	copts := &core.Options{}
+	sopts := []Option{WithAlgorithm(algo)}
 	if opts != nil {
-		copts.Parallelism = opts.Parallelism
-		copts.VMs = opts.VMs
-	}
-	var (
-		f   *core.Forest
-		err error
-	)
-	switch algo {
-	case AlgorithmSOFDA:
-		f, err = core.SOFDACtx(ctx, n.g, creq, copts)
-	case AlgorithmSOFDASS:
-		if len(req.Sources) != 1 {
-			return nil, errors.New("sof: SOFDA-SS requires exactly one source")
+		sopts = append(sopts, WithParallelism(opts.Parallelism))
+		if opts.VMs != nil {
+			// Not WithVMs: the wrapper must preserve EmbedOptions semantics
+			// exactly, where a non-nil empty slice means "no candidate VMs"
+			// (and fails the embed) rather than "no restriction".
+			vms := opts.VMs
+			sopts = append(sopts, func(s *Solver) { s.vms = vms })
 		}
-		f, err = core.SOFDASSCtx(ctx, n.g, req.Sources[0], req.Destinations, req.ChainLength, copts)
-	case AlgorithmENEMP:
-		f, err = baseline.SolveCtx(ctx, n.g, creq, copts, baseline.KindENEMP)
-	case AlgorithmEST:
-		f, err = baseline.SolveCtx(ctx, n.g, creq, copts, baseline.KindEST)
-	case AlgorithmST:
-		f, err = baseline.SolveCtx(ctx, n.g, creq, copts, baseline.KindST)
-	case AlgorithmExact:
-		f, err = sofexact.Solve(n.g, creq, &sofexact.Options{VMs: copts.VMs})
-	default:
-		return nil, fmt.Errorf("sof: unknown algorithm %q", algo)
 	}
-	if err != nil {
-		return nil, err
-	}
-	return &Forest{
-		f:      f,
-		net:    n,
-		req:    creq,
-		oracle: chain.NewOracle(n.g, chain.Options{}),
-	}, nil
+	return NewSolver(n, sopts...).Embed(ctx, req)
 }
 
 // Forest is an embedded service overlay forest with its dynamic
-// reconfiguration operations (Section VII-C of the paper).
+// reconfiguration operations (Section VII-C of the paper). A forest keeps
+// the Solver session state it was embedded under: the shared shortest-path
+// cache (dynamic operations run warm when costs have not changed since the
+// embed) and the candidate-VM restriction (Join, InsertVNF, and MigrateVM
+// never graft onto VMs the original embed was forbidden to use).
 type Forest struct {
 	f      *core.Forest
 	net    *Network
 	req    core.Request
 	oracle *chain.Oracle
+	// vms is the embed-time candidate restriction; nil means every VM of
+	// the network is eligible.
+	vms []NodeID
+}
+
+// candidateVMs returns the VM set dynamic operations may draw from.
+func (f *Forest) candidateVMs() []NodeID {
+	if f.vms != nil {
+		return f.vms
+	}
+	return f.net.g.VMs()
 }
 
 // TotalCost returns setup + connection cost.
@@ -225,37 +232,39 @@ func (f *Forest) Validate() error {
 }
 
 // Join grafts a new destination onto the forest at minimum extension cost,
-// returning the cost increase.
+// returning the cost increase. Only VMs the original embed was allowed to
+// use are candidates for newly installed VNFs. The session cache is reused
+// as-is: if no cost changed since the last query, the extension walks are
+// computed from warm shortest-path trees (cost changes invalidate them
+// through the epoch, no explicit flush needed).
 func (f *Forest) Join(d NodeID) (float64, error) {
-	f.oracle.InvalidateCache()
-	return f.f.Join(f.oracle, f.net.g.VMs(), d)
+	return f.f.Join(f.oracle, f.candidateVMs(), d)
 }
 
 // Leave removes a destination, pruning the branch it exclusively used, and
 // returns the (non-positive) cost change.
 func (f *Forest) Leave(d NodeID) (float64, error) { return f.f.Leave(d) }
 
-// InsertVNF adds a VNF at 1-based chain position j.
+// InsertVNF adds a VNF at 1-based chain position j, drawing the new VM
+// from the embed-time candidate set.
 func (f *Forest) InsertVNF(j int) error {
-	f.oracle.InvalidateCache()
-	return f.f.InsertVNF(f.oracle, f.net.g.VMs(), j)
+	return f.f.InsertVNF(f.oracle, f.candidateVMs(), j)
 }
 
 // RemoveVNF deletes the VNF at 1-based chain position j.
 func (f *Forest) RemoveVNF(j int) error { return f.f.RemoveVNF(j) }
 
 // RerouteCongestedLink re-routes every forest segment using link e over
-// the current cheapest paths; update costs first.
+// the current cheapest paths; update costs first (the cost change itself
+// invalidates the session's stale trees via the epoch).
 func (f *Forest) RerouteCongestedLink(e EdgeID) (int, error) {
-	f.oracle.InvalidateCache()
 	return f.f.RerouteCongestedEdge(f.oracle, e)
 }
 
-// MigrateVM moves the VNF off an overloaded VM to the best replacement;
-// update costs first.
+// MigrateVM moves the VNF off an overloaded VM to the best replacement
+// from the embed-time candidate set; update costs first.
 func (f *Forest) MigrateVM(v NodeID) error {
-	f.oracle.InvalidateCache()
-	return f.f.MigrateOverloadedVM(f.oracle, f.net.g.VMs(), v)
+	return f.f.MigrateOverloadedVM(f.oracle, f.candidateVMs(), v)
 }
 
 // Internal returns the underlying core forest for advanced inspection.

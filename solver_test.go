@@ -1,0 +1,308 @@
+package sof
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sof/internal/topology"
+)
+
+// solverTestRequests draws n random SoftLayer requests with a fixed seed.
+func solverTestRequests(net *topology.Network, n int) []Request {
+	rng := rand.New(rand.NewSource(7))
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{
+			Sources:      net.RandomNodes(rng, 2+rng.Intn(3)),
+			Destinations: net.RandomNodes(rng, 2+rng.Intn(3)),
+			ChainLength:  2,
+		}
+	}
+	return reqs
+}
+
+func TestSolverMatchesNetworkEmbed(t *testing.T) {
+	net, s, d := buildLine(t)
+	req := Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2}
+	solver := NewSolver(net)
+	for _, algo := range []Algorithm{AlgorithmSOFDA, AlgorithmSOFDASS, AlgorithmENEMP, AlgorithmEST, AlgorithmST, AlgorithmExact} {
+		want, err := net.Embed(req, algo)
+		if err != nil {
+			t.Fatalf("%s wrapper: %v", algo, err)
+		}
+		got, err := solver.EmbedAlgorithm(context.Background(), req, algo)
+		if err != nil {
+			t.Fatalf("%s solver: %v", algo, err)
+		}
+		if got.TotalCost() != want.TotalCost() {
+			t.Errorf("%s: solver cost %v != wrapper cost %v", algo, got.TotalCost(), want.TotalCost())
+		}
+	}
+	if _, err := solver.EmbedAlgorithm(context.Background(), req, "nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+
+	// Wrapper compatibility: a non-nil empty VMs slice means "no candidate
+	// VMs" (the embed must fail), not "no restriction".
+	if _, err := net.EmbedContext(context.Background(), req, AlgorithmSOFDA,
+		&EmbedOptions{VMs: []NodeID{}}); err == nil {
+		t.Error("empty non-nil EmbedOptions.VMs embedded against all VMs")
+	}
+}
+
+// TestSolverWarmCacheEpochInvalidation is the cost-epoch contract: embeds
+// under unchanged costs pay zero additional Dijkstra computations, a
+// genuine cost change invalidates (and the post-change result matches a
+// fresh solve), and rewriting a cost to its current value keeps the cache
+// warm.
+func TestSolverWarmCacheEpochInvalidation(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 15, Seed: 3})
+	snet := FromGraph(net.G)
+	solver := NewSolver(snet, WithVMs(net.VMs...))
+	rng := rand.New(rand.NewSource(3))
+	req := Request{
+		Sources:      net.RandomNodes(rng, 4),
+		Destinations: net.RandomNodes(rng, 4),
+		ChainLength:  2,
+	}
+	ctx := context.Background()
+
+	first, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := solver.CacheStats()
+	if cold.Misses == 0 {
+		t.Fatal("cold embed performed no Dijkstra computations")
+	}
+
+	second, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := solver.CacheStats()
+	if warm.Misses != cold.Misses {
+		t.Errorf("unchanged-cost re-embed recomputed %d trees; cache entries did not survive",
+			warm.Misses-cold.Misses)
+	}
+	if warm.Hits <= cold.Hits {
+		t.Error("warm embed recorded no cache hits")
+	}
+	if second.TotalCost() != first.TotalCost() {
+		t.Errorf("warm cost %v != cold cost %v", second.TotalCost(), first.TotalCost())
+	}
+
+	// Rewriting a cost to its current value must not advance the epoch.
+	snet.SetLinkCost(0, net.G.EdgeCost(0))
+	if _, err := solver.Embed(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if got := solver.CacheStats(); got.Misses != cold.Misses {
+		t.Errorf("same-value SetLinkCost invalidated the cache (%d new misses)", got.Misses-cold.Misses)
+	}
+
+	// A real change invalidates: the next embed recomputes and matches a
+	// fresh one-shot solve on the mutated network.
+	snet.SetLinkCost(0, net.G.EdgeCost(0)*10+1)
+	mutated, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := solver.CacheStats()
+	if after.Misses == cold.Misses {
+		t.Error("cost change did not invalidate the cache")
+	}
+	fresh, err := snet.Embed(req, AlgorithmSOFDA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutated.TotalCost() != fresh.TotalCost() {
+		t.Errorf("post-mutation session cost %v != fresh solve %v", mutated.TotalCost(), fresh.TotalCost())
+	}
+}
+
+func TestSolverEmbedBatch(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 15, Seed: 5})
+	solver := NewSolver(FromGraph(net.G), WithVMs(net.VMs...))
+	reqs := solverTestRequests(net, 6)
+	results, err := solver.EmbedBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(reqs) {
+		t.Fatalf("got %d results for %d requests", len(results), len(reqs))
+	}
+	single := NewSolver(FromGraph(net.G), WithVMs(net.VMs...))
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d carries index %d", i, r.Index)
+		}
+		if r.Err != nil {
+			t.Fatalf("request %d failed: %v", i, r.Err)
+		}
+		want, err := single.Embed(context.Background(), reqs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Forest.TotalCost() != want.TotalCost() {
+			t.Errorf("request %d: batch cost %v != individual cost %v", i, r.Forest.TotalCost(), want.TotalCost())
+		}
+	}
+
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err = solver.EmbedBatch(cancelled, reqs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled batch error = %v", err)
+	}
+	for i, r := range results {
+		if r.Err == nil {
+			t.Errorf("request %d has no error after pre-cancelled batch", i)
+		}
+	}
+}
+
+// TestSolverEmbedStreamFewerDijkstras is the acceptance bar of the session
+// API: a 50-request unchanged-cost stream through one Solver must perform
+// strictly fewer Dijkstra computations than 50 independent Network.Embed
+// calls. Network.Embed is by construction a one-shot Solver per call, so
+// the independent side is counted through 50 fresh sessions (identical
+// work) and cross-checked against actual Network.Embed costs.
+func TestSolverEmbedStreamFewerDijkstras(t *testing.T) {
+	const n = 50
+	net := topology.SoftLayer(topology.Config{NumVMs: 15, Seed: 9})
+	snet := FromGraph(net.G)
+	reqs := solverTestRequests(net, n)
+
+	var independent uint64
+	costs := make([]float64, n)
+	for i, req := range reqs {
+		oneShot := NewSolver(snet, WithVMs(net.VMs...))
+		f, err := oneShot.Embed(context.Background(), req)
+		if err != nil {
+			t.Fatalf("one-shot %d: %v", i, err)
+		}
+		costs[i] = f.TotalCost()
+		independent += oneShot.CacheStats().Misses
+
+		wrapper, err := snet.EmbedContext(context.Background(), req, AlgorithmSOFDA, &EmbedOptions{VMs: net.VMs})
+		if err != nil {
+			t.Fatalf("Network.Embed %d: %v", i, err)
+		}
+		if wrapper.TotalCost() != costs[i] {
+			t.Fatalf("request %d: wrapper cost %v != one-shot session cost %v", i, wrapper.TotalCost(), costs[i])
+		}
+	}
+
+	shared := NewSolver(snet, WithVMs(net.VMs...))
+	in := make(chan Request)
+	go func() {
+		defer close(in)
+		for _, r := range reqs {
+			in <- r
+		}
+	}()
+	got := 0
+	for res := range shared.EmbedStream(context.Background(), in) {
+		if res.Err != nil {
+			t.Fatalf("stream request %d: %v", res.Index, res.Err)
+		}
+		if res.Forest.TotalCost() != costs[res.Index] {
+			t.Errorf("stream request %d: cost %v != independent cost %v",
+				res.Index, res.Forest.TotalCost(), costs[res.Index])
+		}
+		got++
+	}
+	if got != n {
+		t.Fatalf("stream delivered %d results, want %d", got, n)
+	}
+	streamed := shared.CacheStats().Misses
+	if streamed >= independent {
+		t.Errorf("shared stream performed %d Dijkstras, independent embeds %d; want strictly fewer",
+			streamed, independent)
+	}
+	t.Logf("Dijkstra computations: stream=%d independent=%d (%.1fx fewer)",
+		streamed, independent, float64(independent)/float64(streamed))
+}
+
+func TestSolverEmbedStreamCancellation(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 15, Seed: 11})
+	solver := NewSolver(FromGraph(net.G), WithVMs(net.VMs...))
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make(chan Request)
+	out := solver.EmbedStream(ctx, in)
+	reqs := solverTestRequests(net, 2)
+	in <- reqs[0]
+	<-out
+	cancel()
+	// The stream must terminate even though the input channel stays open.
+	for range out {
+	}
+}
+
+// TestForestJoinRespectsVMRestriction is the regression test for dynamic
+// operations leaking outside the embed-time VM restriction: the cheapest
+// join for d2 runs through the forbidden (and very cheap) VM w, and the
+// forest must refuse it.
+func TestForestJoinRespectsVMRestriction(t *testing.T) {
+	b := NewNetworkBuilder()
+	s := b.AddSwitch("s")
+	v := b.AddVM("allowed", 1)
+	w := b.AddVM("forbidden", 0.1)
+	d1 := b.AddSwitch("d1")
+	d2 := b.AddSwitch("d2")
+	b.Link(s, v, 1)
+	b.Link(v, d1, 1)
+	// Tempting path to d2 through the forbidden VM...
+	b.Link(s, w, 0.1)
+	b.Link(w, d2, 0.1)
+	// ...and expensive legitimate ones.
+	b.Link(v, d2, 10)
+	b.Link(d1, d2, 10)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	solver := NewSolver(net, WithVMs(v))
+	f, err := solver.Embed(context.Background(), Request{
+		Sources: []NodeID{s}, Destinations: []NodeID{d1}, ChainLength: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Join(d2); err != nil {
+		t.Fatal(err)
+	}
+	for _, used := range f.UsedVMs() {
+		if used == w {
+			t.Fatal("join grafted onto a VM excluded by the embed-time restriction")
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Sanity: without the restriction the cheap VM is exactly what the
+	// join picks, so the test is actually exercising the guard.
+	free, err := NewSolver(net).Embed(context.Background(), Request{
+		Sources: []NodeID{s}, Destinations: []NodeID{d1}, ChainLength: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := free.Join(d2); err != nil {
+		t.Fatal(err)
+	}
+	foundCheap := false
+	for _, used := range free.UsedVMs() {
+		if used == w {
+			foundCheap = true
+		}
+	}
+	if !foundCheap {
+		t.Error("unrestricted join did not use the cheap VM; restriction scenario is vacuous")
+	}
+}
