@@ -285,7 +285,7 @@ func BenchmarkOnlineArrivals(b *testing.B) {
 		b.ReportMetric(float64(dijkstras), "dijkstras/op")
 	})
 	b.Run("warm", func(b *testing.B) {
-		var dijkstras uint64
+		var stats sof.CacheStats
 		for i := 0; i < b.N; i++ {
 			solver := sof.NewSolver(snet, sof.WithVMs(net.VMs...))
 			in := make(chan sof.Request)
@@ -300,9 +300,13 @@ func BenchmarkOnlineArrivals(b *testing.B) {
 					b.Fatal(res.Err)
 				}
 			}
-			dijkstras = solver.CacheStats().Misses
+			stats = solver.CacheStats()
 		}
-		b.ReportMetric(float64(dijkstras), "dijkstras/op")
+		b.ReportMetric(float64(stats.Misses), "dijkstras/op")
+		b.ReportMetric(float64(stats.ChainMisses), "kstrolls/op")
+		if total := stats.ChainHits + stats.ChainMisses; total > 0 {
+			b.ReportMetric(100*float64(stats.ChainHits)/float64(total), "chainhit-%")
+		}
 	})
 }
 

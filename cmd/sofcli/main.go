@@ -79,5 +79,6 @@ func main() {
 		run(sof.AlgorithmExact)
 	}
 	stats := solver.CacheStats()
-	fmt.Printf("\nsession cache: %d Dijkstra computations, %d warm hits\n", stats.Misses, stats.Hits)
+	fmt.Printf("\nsession cache: %d Dijkstra computations, %d warm hits; %d k-stroll solves, %d solved-chain hits\n",
+		stats.Misses, stats.Hits, stats.ChainMisses, stats.ChainHits)
 }

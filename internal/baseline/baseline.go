@@ -262,7 +262,10 @@ func (b *builder) treeCost(t *steiner.Tree) float64 { return t.Cost }
 // buildCandidate constructs the service tree rooted at s with its chain.
 func (b *builder) buildCandidate(s graph.NodeID, used map[graph.NodeID]bool) (*candidate, error) {
 	terminals := append([]graph.NodeID{s}, b.req.Dests...)
-	tree, err := steiner.KMB(b.g, terminals)
+	// Oracle-backed KMB: the per-source trees and the destination trees
+	// come from the session's epoch-keyed cache, shared with the chain
+	// queries and with the other algorithms of a comparison run.
+	tree, err := steiner.KMBWith(b.g, terminals, &steiner.KMBOptions{Provider: b.oracle})
 	if err != nil {
 		return nil, err
 	}

@@ -12,6 +12,7 @@ package chain
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -157,6 +158,69 @@ type Oracle struct {
 	// misses counts Dijkstra computations (cold or stale-epoch lookups).
 	hits   atomic.Uint64
 	misses atomic.Uint64
+
+	// Solved-chain memoization: Chain() results keyed by (source, last VM,
+	// chain length, candidate-set hash) within one cost epoch, with the
+	// same singleflight discipline as the tree cache. chainEpoch records
+	// the epoch the map was built at; a mismatch drops the map wholesale
+	// (unlike trees, solved chains are cheap to lose and expensive to keep
+	// per epoch). chainMu guards the map and epoch.
+	chainMu    sync.Mutex
+	chainEpoch uint64
+	chainCache map[chainKey]*chainEntry
+	chainHits  atomic.Uint64
+	chainMiss  atomic.Uint64
+}
+
+// maxSolvedChains bounds the solved-chain cache within one cost epoch: a
+// long-lived session under stable costs never sees an epoch bump, so
+// without a cap the memo would grow with every distinct query for the
+// process lifetime. When the map reaches the cap it is dropped wholesale
+// (hot keys re-solve once and re-warm immediately) — crude, but eviction
+// never costs more than the solve it saves. Variable, not const, so
+// tests can shrink it.
+var maxSolvedChains = 1 << 14
+
+// chainKey identifies one solved-chain query within a cost epoch. The
+// candidate VM set enters as an order-sensitive hash: the set (and its
+// order) determines the k-stroll instance, so two queries agree on the
+// key only if they would build the same instance.
+type chainKey struct {
+	src, last graph.NodeID
+	chainLen  int
+	vmsHash   uint64
+}
+
+// chainEntry is a singleflight slot for one solved chain: the first
+// goroutine computes inside once, concurrent same-key queries block on it
+// instead of re-solving the k-stroll instance. vms is the candidate set
+// the entry was created for, written under chainMu before the entry is
+// published — a lookup whose set differs (a 64-bit hash collision)
+// bypasses the cache instead of trusting the hash.
+type chainEntry struct {
+	vms  []graph.NodeID
+	once sync.Once
+	sc   *ServiceChain
+	err  error
+}
+
+// hashNodes is FNV-1a over the ids in order, length-mixed. Collisions are
+// astronomically unlikely but not trusted: the entry stores the actual
+// set and mismatches fall back to an uncached solve.
+func hashNodes(ns []graph.NodeID) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, v := range ns {
+		x := uint64(v)
+		for i := 0; i < 8; i++ {
+			h ^= x & 0xff
+			h *= prime
+			x >>= 8
+		}
+	}
+	h ^= uint64(len(ns))
+	h *= prime
+	return h
 }
 
 // treeEntry is a singleflight slot for one origin's Dijkstra tree at one
@@ -211,21 +275,41 @@ func (o *Oracle) tree(n graph.NodeID) *graph.ShortestPaths {
 	return e.sp
 }
 
-// CacheStats is a point-in-time snapshot of the oracle's tree cache
-// counters. Misses equals the number of Dijkstra computations performed;
-// Hits counts lookups answered from a current-epoch entry (including
-// waiters that shared an in-flight computation).
+// Tree returns the oracle's cached shortest-path tree rooted at n,
+// computing it (singleflight, epoch-keyed) on first demand. It satisfies
+// steiner.PathProvider, so KMB runs over the oracle's graph can feed off
+// the same cache as the chain queries.
+//
+// The returned tree is the live cache entry, shared by every consumer of
+// the session: callers must treat it as strictly read-only (Dist, Parent,
+// and ParentEdge included). Mutating it would silently corrupt every
+// later query until the next cost-epoch bump; callers that need a
+// scratch copy must take one themselves.
+func (o *Oracle) Tree(n graph.NodeID) *graph.ShortestPaths { return o.tree(n) }
+
+// CacheStats is a point-in-time snapshot of the oracle's cache counters.
+// Misses equals the number of Dijkstra computations performed; Hits counts
+// tree lookups answered from a current-epoch entry (including waiters
+// that shared an in-flight computation). ChainMisses counts k-stroll
+// solves (each one instance build + solve + materialization); ChainHits
+// counts Chain() calls answered from a current-epoch solved-chain entry.
 type CacheStats struct {
-	Hits   uint64
-	Misses uint64
+	Hits        uint64
+	Misses      uint64
+	ChainHits   uint64
+	ChainMisses uint64
 }
 
-// Stats returns the cache counters. The two fields are loaded separately,
-// so under concurrent queries the snapshot is advisory rather than an
-// atomic pair — exact for the quiesced points tests and benchmarks read it
-// at.
+// Stats returns the cache counters. The fields are loaded separately, so
+// under concurrent queries the snapshot is advisory rather than an atomic
+// tuple — exact for the quiesced points tests and benchmarks read it at.
 func (o *Oracle) Stats() CacheStats {
-	return CacheStats{Hits: o.hits.Load(), Misses: o.misses.Load()}
+	return CacheStats{
+		Hits:        o.hits.Load(),
+		Misses:      o.misses.Load(),
+		ChainHits:   o.chainHits.Load(),
+		ChainMisses: o.chainMiss.Load(),
+	}
 }
 
 // InvalidateCache marks every cached shortest-path tree stale by advancing
@@ -242,7 +326,54 @@ func (o *Oracle) InvalidateCache() {
 // Chain finds a low-cost service chain from source s to last VM u visiting
 // chainLen distinct VMs drawn from vms (Procedures 1 and 2). u must be in
 // vms; s must not be (a source does not host VNFs on its own chain).
+//
+// Solved chains are memoized per cost epoch: a warm request stream pays
+// each distinct (source, last VM, chain length, candidate set) query one
+// k-stroll solve, and cost mutations through SetEdgeCost/SetNodeCost
+// invalidate lazily, exactly like the tree cache. Callers receive a
+// private copy, so mutating the result never corrupts the cache.
 func (o *Oracle) Chain(vms []graph.NodeID, s, u graph.NodeID, chainLen int) (*ServiceChain, error) {
+	epoch := o.g.CostEpoch()
+	key := chainKey{src: s, last: u, chainLen: chainLen, vmsHash: hashNodes(vms)}
+	o.chainMu.Lock()
+	if o.chainCache == nil || o.chainEpoch != epoch {
+		o.chainCache = make(map[chainKey]*chainEntry)
+		o.chainEpoch = epoch
+	}
+	e, ok := o.chainCache[key]
+	if ok && !slices.Equal(e.vms, vms) {
+		// Hash collision between distinct candidate sets: solve uncached
+		// rather than alias the other set's chain.
+		o.chainMu.Unlock()
+		o.chainMiss.Add(1)
+		return o.solveChain(vms, s, u, chainLen)
+	}
+	if !ok {
+		if len(o.chainCache) >= maxSolvedChains {
+			o.chainCache = make(map[chainKey]*chainEntry)
+		}
+		e = &chainEntry{vms: append([]graph.NodeID(nil), vms...)}
+		o.chainCache[key] = e
+	}
+	o.chainMu.Unlock()
+	hit := true
+	e.once.Do(func() {
+		hit = false
+		o.chainMiss.Add(1)
+		e.sc, e.err = o.solveChain(vms, s, u, chainLen)
+	})
+	if hit {
+		o.chainHits.Add(1)
+	}
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.sc.Clone(), nil
+}
+
+// solveChain is the uncached Chain computation: build the auxiliary
+// instance of Procedure 1, solve the k-stroll, materialize the walk.
+func (o *Oracle) solveChain(vms []graph.NodeID, s, u graph.NodeID, chainLen int) (*ServiceChain, error) {
 	if chainLen < 1 {
 		return nil, fmt.Errorf("chain: chain length %d < 1", chainLen)
 	}
@@ -453,6 +584,12 @@ func (o *Oracle) Extension(vms []graph.NodeID, from, to graph.NodeID, nVMs int) 
 		a, b := nodeAt(w.Seq[i-1]), nodeAt(w.Seq[i])
 		sp := o.tree(a)
 		pathNodes := sp.PathTo(b)
+		if pathNodes == nil {
+			// The instance build proved reachability, but the tree answering
+			// here may be a different (fresher) one than the build consulted;
+			// degrade to an error instead of indexing a nil path.
+			return nil, fmt.Errorf("chain: no path %d→%d: %w", a, b, graph.ErrDisconnected)
+		}
 		sc.Nodes = append(sc.Nodes, pathNodes[1:]...)
 		sc.Edges = append(sc.Edges, sp.EdgesTo(b)...)
 		if i < len(w.Seq)-1 {

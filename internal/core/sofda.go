@@ -172,16 +172,22 @@ func SOFDAFromCandidatesCtx(ctx context.Context, g *graph.Graph, req Request, op
 	if err != nil {
 		return nil, err
 	}
-	return completeForest(ctx, g, oracle, vms, req, aux)
+	return completeForest(ctx, g, oracle, vms, req, aux, o.Parallelism)
 }
 
 // completeForest runs the shared tail of Algorithm 2 over a built Ĝ: the
 // Steiner phase, forest assembly, and the per-source single-tree
 // refinement. Both the centralized SOFDA and the distributed leader end
 // here, which is what makes their costs provably identical on equal Ĝ.
-func completeForest(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, vms []graph.NodeID, req Request, aux *auxGraph) (*Forest, error) {
+//
+// The Steiner phase over Ĝ fans its per-terminal closure passes out over
+// par workers (Ĝ is a private clone, so its trees cannot come from the
+// session oracle); every KMB over the real network and the refinement's
+// destination trees go through the oracle instead, staying warm across a
+// request stream.
+func completeForest(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, vms []graph.NodeID, req Request, aux *auxGraph, par int) (*Forest, error) {
 	terminals := append([]graph.NodeID{aux.sHat}, req.Dests...)
-	tree, err := steiner.KMB(aux.g, terminals)
+	tree, err := steiner.KMBWith(aux.g, terminals, &steiner.KMBOptions{Parallelism: resolvePar(par)})
 	if err != nil {
 		return nil, fmt.Errorf("core: SOFDA Steiner phase: %w", err)
 	}
@@ -202,12 +208,15 @@ func completeForest(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, v
 	// cheapest assembled forest. This keeps the 3ρST guarantee — the KMB
 	// candidate is never discarded for a worse one — while shaving the
 	// 2-approximation noise on instances where one tree is optimal.
-	destTrees := graph.DijkstraAll(g, req.Dests)
+	destTrees := make(map[graph.NodeID]*graph.ShortestPaths, len(req.Dests))
+	for _, d := range req.Dests {
+		destTrees[d] = oracle.Tree(d)
+	}
 	for _, s := range req.Sources {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cand := bestSingleTree(g, aux, s, req, destTrees)
+		cand := bestSingleTree(g, oracle, aux, s, req, destTrees)
 		if cand == nil {
 			continue
 		}
@@ -253,7 +262,7 @@ func SOFDACtx(ctx context.Context, g *graph.Graph, req Request, opts *Options) (
 	if err != nil {
 		return nil, err
 	}
-	return completeForest(ctx, g, oracle, vms, req, aux)
+	return completeForest(ctx, g, oracle, vms, req, aux, o.Parallelism)
 }
 
 // bestSingleTree returns Ĝ tree edges for the cheapest single-chain
@@ -261,7 +270,7 @@ func SOFDACtx(ctx context.Context, g *graph.Graph, req Request, opts *Options) (
 // over {u} ∪ dests, or nil when infeasible. Candidates are ranked by chain
 // cost + the metric-closure MST over {u} ∪ dests (KMB's own upper bound),
 // and only the winner gets a full KMB run.
-func bestSingleTree(g *graph.Graph, aux *auxGraph, s graph.NodeID, req Request, destTrees map[graph.NodeID]*graph.ShortestPaths) []graph.EdgeID {
+func bestSingleTree(g *graph.Graph, oracle *chain.Oracle, aux *auxGraph, s graph.NodeID, req Request, destTrees map[graph.NodeID]*graph.ShortestPaths) []graph.EdgeID {
 	sHatDup, ok := aux.srcDup[s]
 	if !ok {
 		return nil
@@ -283,7 +292,8 @@ func bestSingleTree(g *graph.Graph, aux *auxGraph, s graph.NodeID, req Request, 
 		return nil
 	}
 	sc := aux.chains[bestEdge]
-	tree, err := steiner.KMB(g, append([]graph.NodeID{sc.LastVM}, req.Dests...))
+	tree, err := steiner.KMBWith(g, append([]graph.NodeID{sc.LastVM}, req.Dests...),
+		&steiner.KMBOptions{Provider: oracle})
 	if err != nil {
 		return nil
 	}

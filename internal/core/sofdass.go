@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 
 	"sof/internal/chain"
 	"sof/internal/graph"
@@ -93,6 +94,15 @@ func ctxOrBackground(ctx context.Context) context.Context {
 	return ctx
 }
 
+// resolvePar maps Options.Parallelism's 0-means-GOMAXPROCS convention to
+// the explicit worker count steiner.KMBOptions expects.
+func resolvePar(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
 // SOFDASS is Algorithm 1: the (2+ρST)-approximation for the single-source
 // SOF problem. For every candidate last VM u it builds the minimum-cost
 // service chain s→u via the k-stroll reduction (Procedures 1–2), appends a
@@ -118,8 +128,10 @@ func SOFDASSCtx(ctx context.Context, g *graph.Graph, source graph.NodeID, dests 
 
 	if chainLen == 0 {
 		// Degenerate case: no VNFs; the forest is a Steiner tree rooted at
-		// the source.
-		tree, err := steiner.KMB(g, append([]graph.NodeID{source}, dests...))
+		// the source. Provider-backed and sequential like every other KMB
+		// over the real network — warm fetches are cache lookups.
+		tree, err := steiner.KMBWith(g, append([]graph.NodeID{source}, dests...),
+			&steiner.KMBOptions{Provider: oracle})
 		if err != nil {
 			return nil, err
 		}
@@ -146,7 +158,12 @@ func SOFDASSCtx(ctx context.Context, g *graph.Graph, source graph.NodeID, dests 
 			return nil, err
 		}
 		sc := r.Chain
-		tree, err := steiner.KMB(g, append([]graph.NodeID{sc.LastVM}, dests...))
+		// Oracle-backed KMB: the destination trees are shared by every
+		// candidate last VM of this loop (and by later requests of the
+		// session), so the per-VM Steiner phase stops re-running the same
+		// metric closure |M| times.
+		tree, err := steiner.KMBWith(g, append([]graph.NodeID{sc.LastVM}, dests...),
+			&steiner.KMBOptions{Provider: oracle})
 		if err != nil {
 			lastErr = err
 			continue

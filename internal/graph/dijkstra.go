@@ -1,8 +1,8 @@
 package graph
 
 import (
-	"container/heap"
 	"math"
+	"sync"
 )
 
 // ShortestPaths holds the single-source shortest-path tree computed by
@@ -57,38 +57,33 @@ func (sp *ShortestPaths) EdgesTo(t NodeID) []EdgeID {
 	return rev
 }
 
-type pqItem struct {
-	node NodeID
-	dist float64
+// spScratch is the reusable per-run Dijkstra state: the indexed heap
+// (whose position index self-restores on drain) and a generation-stamped
+// settled marker, so a pooled scratch is ready for the next run without
+// any O(n) reset. The result arrays are NOT pooled — callers (the chain
+// oracle in particular) retain ShortestPaths indefinitely.
+type spScratch struct {
+	h    IndexedHeap
+	done []uint64
+	gen  uint64
 }
 
-type pq struct {
-	items []pqItem
-	// pos[v] is the index of v in items, or -1.
-	pos []int
-}
+var spPool = sync.Pool{New: func() any { return new(spScratch) }}
 
-func (q *pq) Len() int           { return len(q.items) }
-func (q *pq) Less(i, j int) bool { return q.items[i].dist < q.items[j].dist }
-func (q *pq) Push(x interface{}) {
-	it := x.(pqItem)
-	q.pos[it.node] = len(q.items)
-	q.items = append(q.items, it)
-}
-func (q *pq) Swap(i, j int) {
-	q.items[i], q.items[j] = q.items[j], q.items[i]
-	q.pos[q.items[i].node] = i
-	q.pos[q.items[j].node] = j
-}
-
-func (q *pq) Pop() interface{} {
-	it := q.items[len(q.items)-1]
-	q.items = q.items[:len(q.items)-1]
-	q.pos[it.node] = -1
-	return it
+func (s *spScratch) ensure(n int) {
+	s.h.Grow(n)
+	if len(s.done) < n {
+		done := make([]uint64, n)
+		copy(done, s.done)
+		s.done = done
+	}
 }
 
 // Dijkstra computes shortest paths from src over edge connection costs.
+// The traversal runs on the graph's flat CSR adjacency with a pooled
+// indexed heap, so a run allocates only its result arrays. Ties are
+// settled toward the smaller node id, making the returned tree (not just
+// the distances) deterministic.
 func Dijkstra(g *Graph, src NodeID) *ShortestPaths {
 	n := g.NumNodes()
 	sp := &ShortestPaths{
@@ -104,45 +99,38 @@ func Dijkstra(g *Graph, src NodeID) *ShortestPaths {
 	}
 	sp.Dist[src] = 0
 
-	q := &pq{pos: make([]int, n)}
-	for i := range q.pos {
-		q.pos[i] = -1
-	}
-	heap.Push(q, pqItem{node: src, dist: 0})
-	done := make([]bool, n)
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
-		u := it.node
-		if done[u] {
-			continue
-		}
-		done[u] = true
-		du := sp.Dist[u]
-		for _, a := range g.Adj(u) {
-			v := a.To
-			if done[v] {
+	c := g.csr()
+	s := spPool.Get().(*spScratch)
+	s.ensure(n)
+	s.gen++
+	gen, done := s.gen, s.done
+	h := &s.h
+	h.Update(int32(src), 0)
+	for h.Len() > 0 {
+		u, du := h.Pop()
+		done[u] = gen
+		for i := c.row[u]; i < c.row[u+1]; i++ {
+			v := c.to[i]
+			if done[v] == gen {
 				continue
 			}
-			nd := du + g.EdgeCost(a.Edge)
+			nd := du + g.edges[c.eid[i]].Cost
 			if nd < sp.Dist[v] {
 				sp.Dist[v] = nd
-				sp.Parent[v] = u
-				sp.ParentEdge[v] = a.Edge
-				if q.pos[v] >= 0 {
-					q.items[q.pos[v]].dist = nd
-					heap.Fix(q, q.pos[v])
-				} else {
-					heap.Push(q, pqItem{node: v, dist: nd})
-				}
+				sp.Parent[v] = NodeID(u)
+				sp.ParentEdge[v] = EdgeID(c.eid[i])
+				h.Update(v, nd)
 			}
 		}
 	}
+	spPool.Put(s)
 	return sp
 }
 
 // DijkstraAll runs Dijkstra from every node in sources and returns the trees
-// keyed by source. It is the workhorse for metric closures and auxiliary
-// graph construction.
+// keyed by source. The embedding hot paths now pull their trees from the
+// chain oracle's epoch-keyed cache instead; this uncached form remains for
+// one-shot callers and as the plain reference in tests.
 func DijkstraAll(g *Graph, sources []NodeID) map[NodeID]*ShortestPaths {
 	out := make(map[NodeID]*ShortestPaths, len(sources))
 	for _, s := range sources {

@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"sync/atomic"
 )
 
@@ -92,6 +93,10 @@ type Graph struct {
 	// dropped eagerly. Topology is immutable after construction, so the
 	// epoch fully identifies the cost surface.
 	epoch atomic.Uint64
+	// csrCache is the lazily built flat adjacency view used by the
+	// shortest-path hot loops; csrMu serializes (re)builds. See csr.go.
+	csrCache atomic.Pointer[csrLayout]
+	csrMu    sync.Mutex
 }
 
 // New returns an empty graph with capacity hints.

@@ -1,0 +1,139 @@
+package graph
+
+// IndexedHeap is a non-interface indexed binary min-heap over dense int32
+// item ids with float64 priorities, the hot-path replacement for
+// container/heap: no interface boxing, no per-push allocation, and
+// decrease-key through a position index. Ties are broken toward the
+// smaller id, which makes every consumer (Dijkstra, Prim) fully
+// deterministic regardless of insertion order.
+//
+// The position index restores itself: a heap that has been fully drained
+// by Pop leaves pos entirely at -1, so pooled users can reuse the heap
+// without an O(n) reset between runs.
+type IndexedHeap struct {
+	items []int32
+	// pos[v] is the index of v in items, -1 when v is not queued.
+	pos []int32
+	// key[v] is v's current priority; meaningful only while v is queued.
+	key []float64
+}
+
+// NewIndexedHeap returns an empty heap addressing ids 0..n-1.
+func NewIndexedHeap(n int) *IndexedHeap {
+	h := &IndexedHeap{}
+	h.Grow(n)
+	return h
+}
+
+// Grow extends the addressable id range to at least n, preserving queued
+// content. It never shrinks.
+func (h *IndexedHeap) Grow(n int) {
+	if n <= len(h.pos) {
+		return
+	}
+	old := len(h.pos)
+	pos := make([]int32, n)
+	copy(pos, h.pos)
+	for i := old; i < n; i++ {
+		pos[i] = -1
+	}
+	h.pos = pos
+	key := make([]float64, n)
+	copy(key, h.key)
+	h.key = key
+}
+
+// Len returns the number of queued items.
+func (h *IndexedHeap) Len() int { return len(h.items) }
+
+// Key returns v's current priority; meaningful only while v is queued.
+func (h *IndexedHeap) Key(v int32) float64 { return h.key[v] }
+
+// Contains reports whether v is queued.
+func (h *IndexedHeap) Contains(v int32) bool { return h.pos[v] >= 0 }
+
+// Reset empties the heap, restoring the position index for the items
+// still queued. Needed only when a drain was abandoned midway; a heap
+// emptied by Pop is already reset.
+func (h *IndexedHeap) Reset() {
+	for _, v := range h.items {
+		h.pos[v] = -1
+	}
+	h.items = h.items[:0]
+}
+
+func (h *IndexedHeap) less(a, b int32) bool {
+	ka, kb := h.key[a], h.key[b]
+	return ka < kb || (ka == kb && a < b)
+}
+
+// Update inserts v with priority k, or re-prioritizes it if already
+// queued (both decrease and increase are handled).
+func (h *IndexedHeap) Update(v int32, k float64) {
+	h.key[v] = k
+	if i := h.pos[v]; i >= 0 {
+		if !h.siftUp(int(i)) {
+			h.siftDown(int(i))
+		}
+		return
+	}
+	h.pos[v] = int32(len(h.items))
+	h.items = append(h.items, v)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum item and its priority.
+func (h *IndexedHeap) Pop() (int32, float64) {
+	top := h.items[0]
+	k := h.key[top]
+	last := len(h.items) - 1
+	h.items[0] = h.items[last]
+	h.pos[h.items[0]] = 0
+	h.items = h.items[:last]
+	h.pos[top] = -1
+	if last > 0 {
+		h.siftDown(0)
+	}
+	return top, k
+}
+
+func (h *IndexedHeap) siftUp(i int) bool {
+	moved := false
+	v := h.items[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.items[p]) {
+			break
+		}
+		h.items[i] = h.items[p]
+		h.pos[h.items[i]] = int32(i)
+		i = p
+		moved = true
+	}
+	h.items[i] = v
+	h.pos[v] = int32(i)
+	return moved
+}
+
+func (h *IndexedHeap) siftDown(i int) {
+	v := h.items[i]
+	n := len(h.items)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		c := l
+		if r := l + 1; r < n && h.less(h.items[r], h.items[l]) {
+			c = r
+		}
+		if !h.less(h.items[c], v) {
+			break
+		}
+		h.items[i] = h.items[c]
+		h.pos[h.items[i]] = int32(i)
+		i = c
+	}
+	h.items[i] = v
+	h.pos[v] = int32(i)
+}

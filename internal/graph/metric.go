@@ -4,6 +4,12 @@ package graph
 // graph, where the distance between two subset members is the shortest-path
 // connection cost between them in the underlying graph. It retains the
 // shortest-path trees so closure edges can be expanded back into real paths.
+//
+// The hot paths no longer use it — steiner.KMB resolves per-terminal trees
+// through closureTrees/PathProvider so they can come from the epoch-keyed
+// oracle cache — but it stays as the simple reference form of the closure:
+// the triangle-inequality property tests (Lemma 1) and small offline
+// analyses are its remaining consumers.
 type MetricClosure struct {
 	// Terminals are the subset nodes, in the order given at construction.
 	Terminals []NodeID

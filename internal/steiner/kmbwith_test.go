@@ -1,0 +1,90 @@
+package steiner
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"sof/internal/graph"
+)
+
+// memoProvider is a minimal PathProvider: a concurrency-safe memo over
+// graph.Dijkstra, standing in for the chain oracle without importing it.
+type memoProvider struct {
+	g  *graph.Graph
+	mu sync.Mutex
+	m  map[graph.NodeID]*graph.ShortestPaths
+}
+
+func (p *memoProvider) Tree(n graph.NodeID) *graph.ShortestPaths {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.m == nil {
+		p.m = make(map[graph.NodeID]*graph.ShortestPaths)
+	}
+	sp, ok := p.m[n]
+	if !ok {
+		sp = graph.Dijkstra(p.g, n)
+		p.m[n] = sp
+	}
+	return sp
+}
+
+// TestKMBWithMatchesKMB pins the provider-backed, parallel KMB against
+// the self-contained sequential KMB: identical trees (nodes, edges, and
+// cost bit-for-bit), for every provider/parallelism combination, on
+// random graphs and terminal-set sizes including the Fig. 10 regime's
+// larger sets.
+func TestKMBWithMatchesKMB(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		g := graph.RandomConnected(graph.RandomConfig{
+			Nodes: 80, ExtraEdges: 140, VMFraction: 0.3, MaxEdge: 9, MaxSetup: 5,
+		}, seed)
+		pool := make([]graph.NodeID, g.NumNodes())
+		for i := range pool {
+			pool[i] = graph.NodeID(i)
+		}
+		for _, nTerms := range []int{2, 5, 17} {
+			terms := pool[:nTerms]
+			want, err := KMB(g, terms)
+			if err != nil {
+				t.Fatalf("seed %d t=%d: KMB: %v", seed, nTerms, err)
+			}
+			for name, opts := range map[string]*KMBOptions{
+				"parallel":          {Parallelism: 4},
+				"provider":          {Provider: &memoProvider{g: g}},
+				"provider-parallel": {Provider: &memoProvider{g: g}, Parallelism: 4},
+			} {
+				got, err := KMBWith(g, terms, opts)
+				if err != nil {
+					t.Fatalf("seed %d t=%d %s: %v", seed, nTerms, name, err)
+				}
+				if got.Cost != want.Cost {
+					t.Fatalf("seed %d t=%d %s: cost %v != %v", seed, nTerms, name, got.Cost, want.Cost)
+				}
+				if !reflect.DeepEqual(got.Edges, want.Edges) || !reflect.DeepEqual(got.Nodes, want.Nodes) {
+					t.Fatalf("seed %d t=%d %s: tree differs from self-contained KMB", seed, nTerms, name)
+				}
+				if err := Verify(g, got, terms); err != nil {
+					t.Fatalf("seed %d t=%d %s: %v", seed, nTerms, name, err)
+				}
+			}
+		}
+	}
+}
+
+// TestKMBWithDisconnected checks the provider path reports unreachable
+// terminals the same way the self-contained KMB does.
+func TestKMBWithDisconnected(t *testing.T) {
+	g := graph.New(4, 1)
+	for i := 0; i < 4; i++ {
+		g.AddSwitch("")
+	}
+	g.MustAddEdge(0, 1, 1)
+	// 2 and 3 are isolated.
+	for _, opts := range []*KMBOptions{nil, {Provider: &memoProvider{g: g}}, {Parallelism: 2}} {
+		if _, err := KMBWith(g, []graph.NodeID{0, 1, 3}, opts); err == nil {
+			t.Fatalf("opts %+v: expected disconnection error", opts)
+		}
+	}
+}

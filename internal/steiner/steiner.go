@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"sof/internal/graph"
 )
@@ -51,12 +53,45 @@ func dedupeTerminals(terminals []graph.NodeID) []graph.NodeID {
 	return out
 }
 
+// PathProvider supplies single-source shortest-path trees over the graph
+// a Steiner instance runs on. chain.Oracle satisfies it, which lets every
+// KMB call over the real network reuse the session's epoch-keyed Dijkstra
+// cache instead of recomputing a private metric closure.
+type PathProvider interface {
+	// Tree returns the shortest-path tree rooted at n. The result must be
+	// valid for the graph passed alongside the provider.
+	Tree(n graph.NodeID) *graph.ShortestPaths
+}
+
+// KMBOptions tune KMBWith. The zero value (or a nil pointer) reproduces
+// the self-contained sequential KMB.
+type KMBOptions struct {
+	// Provider answers the per-terminal shortest-path queries of the
+	// metric-closure phase. When nil, KMB runs its own Dijkstras.
+	Provider PathProvider
+	// Parallelism is the number of concurrent per-terminal closure
+	// passes; <= 1 (including the zero value) runs sequentially. Callers
+	// with a 0-means-GOMAXPROCS convention (core.Options.Parallelism)
+	// must resolve it before passing — provider-backed calls whose trees
+	// are mostly cache hits are better off sequential.
+	Parallelism int
+}
+
 // KMB computes a Steiner tree spanning terminals with the
 // Kou–Markowsky–Berman algorithm: metric closure over terminals → MST of the
 // closure → expansion into shortest paths → MST of the expansion → prune
 // non-terminal leaves. Returns an error if the terminals are not mutually
 // reachable.
 func KMB(g *graph.Graph, terminals []graph.NodeID) (*Tree, error) {
+	return KMBWith(g, terminals, nil)
+}
+
+// KMBWith is KMB with an injectable shortest-path provider and a
+// concurrency budget for the per-terminal closure passes. The computed
+// tree is identical to KMB's for any provider that answers with true
+// shortest-path trees, at any parallelism: the closure MST breaks ties
+// deterministically and the expansion depends only on the trees.
+func KMBWith(g *graph.Graph, terminals []graph.NodeID, opts *KMBOptions) (*Tree, error) {
 	terminals = dedupeTerminals(terminals)
 	switch len(terminals) {
 	case 0:
@@ -64,40 +99,40 @@ func KMB(g *graph.Graph, terminals []graph.NodeID) (*Tree, error) {
 	case 1:
 		return &Tree{Nodes: []graph.NodeID{terminals[0]}}, nil
 	}
-	mc := graph.NewMetricClosure(g, terminals)
+	trees := closureTrees(g, terminals, opts)
 	for i := 1; i < len(terminals); i++ {
-		if math.IsInf(mc.Dist[0][i], 1) {
+		if math.IsInf(trees[0].Dist[terminals[i]], 1) {
 			return nil, fmt.Errorf("steiner: terminal %d unreachable from %d: %w",
 				terminals[i], terminals[0], graph.ErrDisconnected)
 		}
 	}
 
-	// Prim's MST on the dense closure.
+	// Prim's MST on the dense closure, selecting through the indexed heap
+	// (smallest-id tie-break matches the linear scan it replaced, so the
+	// chosen closure edges are unchanged — only the selection cost drops).
 	t := len(terminals)
-	inTree := make([]bool, t)
-	minCost := make([]float64, t)
-	minFrom := make([]int, t)
-	for i := range minCost {
-		minCost[i] = math.Inf(1)
+	settled := make([]bool, t)
+	minFrom := make([]int32, t)
+	for i := range minFrom {
 		minFrom[i] = -1
 	}
-	minCost[0] = 0
-	type closureEdge struct{ a, b int }
-	var closureEdges []closureEdge
-	for iter := 0; iter < t; iter++ {
-		best := -1
-		for i := 0; i < t; i++ {
-			if !inTree[i] && (best < 0 || minCost[i] < minCost[best]) {
-				best = i
-			}
-		}
-		inTree[best] = true
+	h := graph.NewIndexedHeap(t)
+	h.Update(0, 0)
+	type closureEdge struct{ a, b int32 }
+	closureEdges := make([]closureEdge, 0, t-1)
+	for h.Len() > 0 {
+		best, _ := h.Pop()
+		settled[best] = true
 		if minFrom[best] >= 0 {
 			closureEdges = append(closureEdges, closureEdge{a: minFrom[best], b: best})
 		}
-		for i := 0; i < t; i++ {
-			if !inTree[i] && mc.Dist[best][i] < minCost[i] {
-				minCost[i] = mc.Dist[best][i]
+		dist := trees[best].Dist
+		for i := int32(0); i < int32(t); i++ {
+			if settled[i] {
+				continue
+			}
+			if d := dist[terminals[i]]; !h.Contains(i) || d < h.Key(i) {
+				h.Update(i, d)
 				minFrom[i] = best
 			}
 		}
@@ -110,11 +145,11 @@ func KMB(g *graph.Graph, terminals []graph.NodeID) (*Tree, error) {
 		nodeSet[tm] = true
 	}
 	for _, ce := range closureEdges {
-		a, b := terminals[ce.a], terminals[ce.b]
-		for _, e := range mc.PathEdges(a, b) {
+		b := terminals[ce.b]
+		for _, e := range trees[ce.a].EdgesTo(b) {
 			edgeSet[e] = true
 		}
-		for _, n := range mc.Path(a, b) {
+		for _, n := range trees[ce.a].PathTo(b) {
 			nodeSet[n] = true
 		}
 	}
@@ -133,6 +168,56 @@ func KMB(g *graph.Graph, terminals []graph.NodeID) (*Tree, error) {
 	normalize(tree)
 	recost(g, tree)
 	return tree, nil
+}
+
+// closureTrees resolves the shortest-path tree of every terminal, through
+// the provider when one is injected (hitting its cache) and by direct
+// Dijkstra otherwise, fanning the per-terminal passes out over the
+// configured parallelism. Results are positionally aligned with terminals,
+// so concurrency cannot change anything downstream.
+func closureTrees(g *graph.Graph, terminals []graph.NodeID, opts *KMBOptions) []*graph.ShortestPaths {
+	trees := make([]*graph.ShortestPaths, len(terminals))
+	var provider PathProvider
+	par := 1
+	if opts != nil {
+		provider = opts.Provider
+		if opts.Parallelism > 1 {
+			par = opts.Parallelism
+		}
+	}
+	fetch := func(i int) {
+		if provider != nil {
+			trees[i] = provider.Tree(terminals[i])
+		} else {
+			trees[i] = graph.Dijkstra(g, terminals[i])
+		}
+	}
+	if par > len(terminals) {
+		par = len(terminals)
+	}
+	if par <= 1 {
+		for i := range terminals {
+			fetch(i)
+		}
+		return trees
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(terminals) {
+					return
+				}
+				fetch(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return trees
 }
 
 // mstOfSubgraph computes an MST over exactly the given nodes and candidate

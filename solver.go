@@ -88,14 +88,17 @@ func NewSolver(net *Network, opts ...Option) *Solver {
 // Network returns the network the session embeds on.
 func (s *Solver) Network() *Network { return s.net }
 
-// CacheStats is a snapshot of the session's shortest-path cache counters:
-// Misses counts Dijkstra computations, Hits counts queries answered from a
-// current-epoch cache entry.
+// CacheStats is a snapshot of the session's cache counters: Misses counts
+// Dijkstra computations and Hits tree queries answered from a
+// current-epoch cache entry; ChainMisses counts k-stroll solves and
+// ChainHits candidate-chain queries answered from the solved-chain memo.
 type CacheStats = chain.CacheStats
 
-// CacheStats reports the session oracle's hit/miss counters. The miss
-// count is the total number of Dijkstra computations the session has paid,
-// the quantity the warm-cache benchmarks compare.
+// CacheStats reports the session oracle's hit/miss counters. Misses is
+// the total number of Dijkstra computations the session has paid and
+// ChainMisses the total number of k-stroll solves — the two quantities
+// the warm-cache benchmarks compare; ChainHits/(ChainHits+ChainMisses)
+// is the solved-chain cache hit rate.
 func (s *Solver) CacheStats() CacheStats { return s.oracle.Stats() }
 
 // Embed computes a service overlay forest for req with the session's

@@ -306,3 +306,73 @@ func TestForestJoinRespectsVMRestriction(t *testing.T) {
 		t.Error("unrestricted join did not use the cheap VM; restriction scenario is vacuous")
 	}
 }
+
+// TestSolverSolvedChainCacheWarmStream is the session-level contract for
+// the solved-chain memo: replaying a request under unchanged costs embeds
+// at the same cost without new k-stroll solves, the hit rate is visible
+// through CacheStats, and SetLinkCost/SetVMCost invalidate it.
+func TestSolverSolvedChainCacheWarmStream(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 15, Seed: 9})
+	snet := FromGraph(net.G)
+	solver := NewSolver(snet, WithVMs(net.VMs...))
+	rng := rand.New(rand.NewSource(9))
+	req := Request{
+		Sources:      net.RandomNodes(rng, 3),
+		Destinations: net.RandomNodes(rng, 3),
+		ChainLength:  2,
+	}
+	ctx := context.Background()
+
+	first, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := solver.CacheStats()
+	if cold.ChainMisses == 0 {
+		t.Fatal("cold embed solved no chains")
+	}
+
+	second, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := solver.CacheStats()
+	if warm.ChainMisses != cold.ChainMisses {
+		t.Errorf("unchanged-cost re-embed re-solved %d chains", warm.ChainMisses-cold.ChainMisses)
+	}
+	if warm.ChainHits <= cold.ChainHits {
+		t.Error("warm embed recorded no solved-chain hits")
+	}
+	if second.TotalCost() != first.TotalCost() {
+		t.Errorf("warm cost %v != cold cost %v", second.TotalCost(), first.TotalCost())
+	}
+
+	// A VM-cost change invalidates the memo; the re-embed must match a
+	// fresh session on the mutated network exactly.
+	snet.SetVMCost(net.VMs[0], net.G.NodeCost(net.VMs[0])+7)
+	mutated, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := solver.CacheStats()
+	if after.ChainMisses == warm.ChainMisses {
+		t.Error("SetVMCost did not invalidate the solved-chain cache")
+	}
+	fresh, err := NewSolver(snet, WithVMs(net.VMs...)).Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mutated.TotalCost() != fresh.TotalCost() {
+		t.Errorf("post-mutation cost %v != fresh session %v", mutated.TotalCost(), fresh.TotalCost())
+	}
+
+	// And a link-cost change does too.
+	pre := solver.CacheStats().ChainMisses
+	snet.SetLinkCost(0, net.G.EdgeCost(0)+3)
+	if _, err := solver.Embed(ctx, req); err != nil {
+		t.Fatal(err)
+	}
+	if solver.CacheStats().ChainMisses == pre {
+		t.Error("SetLinkCost did not invalidate the solved-chain cache")
+	}
+}
