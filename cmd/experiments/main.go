@@ -8,15 +8,22 @@
 //	experiments -fig 12 -steps 30 # online accumulative cost
 //	experiments -table 1          # SOFDA runtime
 //	experiments -dist             # distributed vs centralized SOFDA (Section VI)
+//	experiments -dist -transport rpc  # same, over net/rpc loopback domains
 //	experiments -all -quick       # everything, reduced sizes
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"strings"
+	"time"
 
+	"sof/internal/core"
+	"sof/internal/dist"
+	distrpc "sof/internal/dist/rpc"
 	"sof/internal/exp"
 )
 
@@ -24,13 +31,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 	var (
-		fig     = flag.Int("fig", 0, "figure to regenerate (7–12), 0 = none")
-		table   = flag.Int("table", 0, "table to regenerate (1 or 2), 0 = none")
-		all     = flag.Bool("all", false, "regenerate everything")
-		quick   = flag.Bool("quick", false, "reduced sizes/runs for a fast pass")
-		runs    = flag.Int("runs", 3, "random requests averaged per data point")
-		steps   = flag.Int("steps", 30, "arrivals for Fig. 12")
-		distrib = flag.Bool("dist", false, "distributed SOFDA comparison (Section VI)")
+		fig         = flag.Int("fig", 0, "figure to regenerate (7–12), 0 = none")
+		table       = flag.Int("table", 0, "table to regenerate (1 or 2), 0 = none")
+		all         = flag.Bool("all", false, "regenerate everything")
+		quick       = flag.Bool("quick", false, "reduced sizes/runs for a fast pass")
+		runs        = flag.Int("runs", 3, "random requests averaged per data point")
+		steps       = flag.Int("steps", 30, "arrivals for Fig. 12")
+		distrib     = flag.Bool("dist", false, "distributed SOFDA comparison (Section VI)")
+		transport   = flag.String("transport", "inproc", "distributed transport: inproc (channel) or rpc (net/rpc over loopback)")
+		domainAddrs = flag.String("domain-addrs", "", "comma-separated addresses of running sofdomain processes; with -dist, embeds against them instead of spinning loopback servers")
+		domainNet   = flag.String("domain-net", "softlayer", "topology the sofdomain processes were started with (-domain-addrs mode)")
+		domainSeed  = flag.Int64("domain-seed", 0, "seed the sofdomain processes were started with (-domain-addrs mode)")
+		domainInet  = flag.Int("domain-inet-nodes", 1000, "node count the sofdomain processes were started with for -domain-net inet (sofdomain's -inet-nodes default)")
 	)
 	flag.Parse()
 
@@ -127,18 +139,59 @@ func main() {
 	})
 	if *all || *distrib {
 		ran = true
-		kinds := []exp.NetKind{exp.NetSoftLayer, exp.NetCogent}
-		if *quick {
-			kinds = kinds[:1]
+		if *domainAddrs != "" {
+			if err := runAgainstDomains(strings.Split(*domainAddrs, ","), exp.NetKind(*domainNet), *domainSeed, *domainInet); err != nil {
+				log.Fatalf("distributed embedding against %s: %v", *domainAddrs, err)
+			}
+		} else {
+			kinds := []exp.NetKind{exp.NetSoftLayer, exp.NetCogent}
+			if *quick {
+				kinds = kinds[:1]
+			}
+			rows, err := exp.DistTable(kinds, []int{1, 3, 5}, r, inet, exp.DistTransport(*transport))
+			if err != nil {
+				log.Fatalf("distributed comparison: %v", err)
+			}
+			fmt.Println(exp.FormatDistTable(rows))
 		}
-		rows, err := exp.DistTable(kinds, []int{1, 3, 5}, r, inet)
-		if err != nil {
-			log.Fatalf("distributed comparison: %v", err)
-		}
-		fmt.Println(exp.FormatDistTable(rows))
 	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// runAgainstDomains embeds the default request through running sofdomain
+// processes and compares against the centralized solve — the leader half
+// of the README's two-terminal quickstart. The fallback is deliberately
+// disabled: this command exists to prove the RPC path works, so a dead or
+// misconfigured domain must fail loudly instead of being silently papered
+// over by a leader-local solve that never touched the wire.
+func runAgainstDomains(addrs []string, kind exp.NetKind, seed int64, inetNodes int) error {
+	network, req, err := exp.DefaultRequest(kind, seed, inetNodes)
+	if err != nil {
+		return err
+	}
+	opts := &core.Options{VMs: network.VMs}
+	central, err := core.SOFDA(network.G, req, opts)
+	if err != nil {
+		return fmt.Errorf("centralized: %w", err)
+	}
+	tr := distrpc.NewTransport(addrs)
+	defer tr.Close()
+	cluster := dist.NewClusterWith(network.G, len(addrs), dist.Config{
+		Transport: tr, RetryBudget: 1, DisableFallback: true,
+	})
+	defer cluster.Close()
+	start := time.Now()
+	f, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts})
+	if err != nil {
+		return fmt.Errorf("%w\n(are the sofdomain processes running, and started with -net %s -seed %d and the default -vms/-inet-nodes? every topology flag must match, or the graph-digest handshake refuses)",
+			err, kind, seed)
+	}
+	fmt.Printf("distributed SOFDA over %d sofdomain processes (%v): cost=%.2f in %.2fms\n",
+		len(addrs), addrs, f.TotalCost(), float64(time.Since(start).Microseconds())/1e3)
+	fmt.Printf("centralized SOFDA:                                   cost=%.2f (match=%v)\n",
+		central.TotalCost(), central.TotalCost() == f.TotalCost())
+	return nil
 }

@@ -1,10 +1,11 @@
 // Distributed scenario: the SoftLayer network is split into three
-// controller domains; the leader gathers per-domain candidate chains and
-// completes SOFDA (Section VI). Confirms the distributed result matches
-// the centralized embedding, with the centralized side solved through the
-// public Solver session. The domain oracles share the network's cost
-// epoch, so a cost change invalidates their caches lazily, exactly like
-// the centralized session's.
+// controller domains and embedded twice (Section VI) — once with the
+// in-process channel transport (domains are worker goroutines), once with
+// domains behind real net/rpc servers on loopback listeners, each owning
+// its own reconstruction of the network, the way separate OS processes
+// would (see cmd/sofdomain for the standalone binary). Both runs must
+// match the centralized embedding bit for bit: the transport changes where
+// the candidate chains are computed, not what is computed.
 package main
 
 import (
@@ -12,44 +13,82 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"net"
 
 	"sof"
 	"sof/internal/chain"
 	"sof/internal/core"
 	"sof/internal/dist"
+	distrpc "sof/internal/dist/rpc"
 	"sof/internal/topology"
 )
 
 func main() {
-	net := topology.SoftLayer(topology.Config{NumVMs: 20, Seed: 11})
-	rng := rand.New(rand.NewSource(11))
-	sources := net.RandomNodes(rng, 6)
-	dests := net.RandomNodes(rng, 5)
+	const (
+		seed    = 11
+		domains = 3
+	)
+	build := func() *topology.Network {
+		return topology.SoftLayer(topology.Config{NumVMs: 20, Seed: seed})
+	}
+	leaderNet := build()
+	rng := rand.New(rand.NewSource(seed))
+	sources := leaderNet.RandomNodes(rng, 6)
+	dests := leaderNet.RandomNodes(rng, 5)
 
-	solver := sof.NewSolver(sof.FromGraph(net.G), sof.WithVMs(net.VMs...))
+	solver := sof.NewSolver(sof.FromGraph(leaderNet.G), sof.WithVMs(leaderNet.VMs...))
 	central, err := solver.Embed(context.Background(), sof.Request{
 		Sources: sources, Destinations: dests, ChainLength: 2,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("centralized SOFDA:        cost=%.2f trees=%d\n", central.TotalCost(), central.Trees())
 
 	req := core.Request{Sources: sources, Dests: dests, ChainLen: 2}
-	cluster := dist.NewCluster(net.G, 3, chain.Options{})
-	defer cluster.Close()
-	distributed, err := cluster.SOFDA(context.Background(), req, dist.Options{
-		Core: &core.Options{VMs: net.VMs},
-	})
+	opts := dist.Options{Core: &core.Options{VMs: leaderNet.VMs}}
+
+	// In-process transport: domains are worker goroutines with private
+	// oracles, fed through channels.
+	cluster := dist.NewCluster(leaderNet.G, domains, chain.Options{})
+	inproc, err := cluster.SOFDA(context.Background(), req, opts)
+	cluster.Close()
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("distributed (inproc):     cost=%.2f trees=%d (%d channel domains)\n",
+		inproc.TotalCost(), inproc.NumTrees(), domains)
 
-	fmt.Printf("centralized SOFDA:  cost=%.2f trees=%d\n", central.TotalCost(), central.Trees())
-	fmt.Printf("distributed SOFDA:  cost=%.2f trees=%d (3 controller domains)\n",
-		distributed.TotalCost(), distributed.NumTrees())
-	if err := distributed.Validate(req.Sources, req.Dests); err != nil {
+	// RPC transport: each domain server rebuilds the network from the same
+	// seed — sharing nothing with the leader but the wire — and answers
+	// candidate batches over net/rpc with the gob codec.
+	addrs := make([]string, domains)
+	for i := range addrs {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv, err := distrpc.Serve(lis, distrpc.NewDomainServer(build().G, chain.Options{}))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		addrs[i] = srv.Addr()
+	}
+	tr := distrpc.NewTransport(addrs)
+	defer tr.Close()
+	rpcCluster := dist.NewClusterWith(leaderNet.G, domains, dist.Config{Transport: tr, RetryBudget: 1})
+	overRPC, err := rpcCluster.SOFDA(context.Background(), req, opts)
+	rpcCluster.Close()
+	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("distributed forest is feasible and matches the centralized cost:",
-		central.TotalCost() == distributed.TotalCost())
+	fmt.Printf("distributed (net/rpc):    cost=%.2f trees=%d (%d servers on %v)\n",
+		overRPC.TotalCost(), overRPC.NumTrees(), domains, addrs)
+
+	if err := overRPC.Validate(req.Sources, req.Dests); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("all three costs identical:",
+		central.TotalCost() == inproc.TotalCost() && inproc.TotalCost() == overRPC.TotalCost())
 }

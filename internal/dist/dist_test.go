@@ -153,6 +153,114 @@ func TestInvalidateCacheAfterCostChange(t *testing.T) {
 	}
 }
 
+// TestDomainsExceedNodeCount embeds with far more domains than nodes:
+// most domains own no nodes at all (and thus receive no pairs), yet the
+// partition stays total and the cost stays centralized.
+func TestDomainsExceedNodeCount(t *testing.T) {
+	net, req, opts := softLayerInstance(4)
+	central, err := core.SOFDA(net.G, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := NewCluster(net.G, 2*net.G.NumNodes(), chain.Options{})
+	defer cluster.Close()
+	f, err := cluster.SOFDA(context.Background(), req, Options{Core: opts})
+	if err != nil {
+		t.Fatalf("SOFDA with %d domains over %d nodes: %v", cluster.NumDomains(), net.G.NumNodes(), err)
+	}
+	if f.TotalCost() != central.TotalCost() {
+		t.Errorf("distributed %v != centralized %v", f.TotalCost(), central.TotalCost())
+	}
+}
+
+// TestSingleNodeDomains gives every node its own controller — the finest
+// partition the ID-range scheme produces.
+func TestSingleNodeDomains(t *testing.T) {
+	net, req, opts := softLayerInstance(6)
+	central, err := core.SOFDA(net.G, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := NewCluster(net.G, net.G.NumNodes(), chain.Options{})
+	defer cluster.Close()
+	f, err := cluster.SOFDA(context.Background(), req, Options{Core: opts})
+	if err != nil {
+		t.Fatalf("SOFDA with one node per domain: %v", err)
+	}
+	if f.TotalCost() != central.TotalCost() {
+		t.Errorf("distributed %v != centralized %v", f.TotalCost(), central.TotalCost())
+	}
+}
+
+// TestEmptyDomainReceivesNoPairs embeds a single-source request over many
+// domains: every domain but the source's receives no pairs and must never
+// be dispatched to (pinned by a transport that counts distinct domains).
+func TestEmptyDomainReceivesNoPairs(t *testing.T) {
+	net, req, opts := softLayerInstance(8)
+	req.Sources = req.Sources[:1]
+	central, err := core.SOFDA(net.G, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := NewChannelTransport(net.G, 5, chain.Options{})
+	defer inner.Close()
+	counter := &countingTransport{inner: inner, domains: make(map[int]int)}
+	cluster := NewClusterWith(net.G, 5, Config{Transport: counter})
+	defer cluster.Close()
+	f, err := cluster.SOFDA(context.Background(), req, Options{Core: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalCost() != central.TotalCost() {
+		t.Errorf("distributed %v != centralized %v", f.TotalCost(), central.TotalCost())
+	}
+	counter.mu.Lock()
+	defer counter.mu.Unlock()
+	if len(counter.domains) != 1 {
+		t.Errorf("single-source request dispatched to %d domains, want 1 (%v)", len(counter.domains), counter.domains)
+	}
+}
+
+// countingTransport records which domains were actually sent to.
+type countingTransport struct {
+	inner   Transport
+	mu      sync.Mutex
+	domains map[int]int
+}
+
+func (c *countingTransport) Send(ctx context.Context, domainID int, req *CandidateRequest) (*CandidateResponse, error) {
+	c.mu.Lock()
+	c.domains[domainID]++
+	c.mu.Unlock()
+	return c.inner.Send(ctx, domainID, req)
+}
+
+// TestDomainWithoutCandidateVMs restricts the candidate VM set to VMs that
+// all live in the last domain: the other domains own sources but no
+// candidate VMs, so their chains must reach across domain boundaries — and
+// the cost must still match the centralized solve under the same
+// restriction.
+func TestDomainWithoutCandidateVMs(t *testing.T) {
+	net, req, _ := softLayerInstance(12)
+	restricted := &core.Options{VMs: net.VMs[:3]}
+	central, err := core.SOFDA(net.G, req, restricted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := NewCluster(net.G, 3, chain.Options{})
+	defer cluster.Close()
+	f, err := cluster.SOFDA(context.Background(), req, Options{Core: restricted})
+	if err != nil {
+		t.Fatalf("SOFDA with VM-free domains: %v", err)
+	}
+	if err := f.Validate(req.Sources, req.Dests); err != nil {
+		t.Errorf("infeasible forest: %v", err)
+	}
+	if f.TotalCost() != central.TotalCost() {
+		t.Errorf("distributed %v != centralized %v", f.TotalCost(), central.TotalCost())
+	}
+}
+
 func TestDomainPartitionCoversAllNodes(t *testing.T) {
 	net, _, _ := softLayerInstance(1)
 	for _, domains := range []int{1, 2, 3, 7, 1000} {

@@ -1,0 +1,63 @@
+package rpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"sof/internal/dist"
+)
+
+// The codec helpers mirror the gob encoding net/rpc applies to the
+// candidate messages on the wire. They exist so payloads can be captured,
+// replayed, and fuzzed offline: Decode* never panics — gob's decoder
+// largely returns errors on malformed input, but a recover guard turns any
+// residual panic on adversarial bytes into an error too, which is the
+// contract the fuzz targets pin.
+
+// EncodeRequest gob-encodes a candidate request.
+func EncodeRequest(req *dist.CandidateRequest) ([]byte, error) {
+	return encode(req)
+}
+
+// DecodeRequest decodes a gob-encoded candidate request, erroring (never
+// panicking) on corrupted payloads.
+func DecodeRequest(data []byte) (*dist.CandidateRequest, error) {
+	req := new(dist.CandidateRequest)
+	if err := decode(data, req); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// EncodeResponse gob-encodes a candidate response.
+func EncodeResponse(resp *dist.CandidateResponse) ([]byte, error) {
+	return encode(resp)
+}
+
+// DecodeResponse decodes a gob-encoded candidate response, erroring (never
+// panicking) on corrupted payloads.
+func DecodeResponse(data []byte) (*dist.CandidateResponse, error) {
+	resp := new(dist.CandidateResponse)
+	if err := decode(data, resp); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+func encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decode(data []byte, v any) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("rpc: decode panic: %v", r)
+		}
+	}()
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}

@@ -1,0 +1,143 @@
+// Package rpc carries the dist candidate protocol over net/rpc with the
+// gob codec, so domain controllers run as separate OS processes: a
+// DomainServer answers dist.CandidateRequests with its own graph and
+// oracle (served by cmd/sofdomain or embedded in a test), and Transport is
+// the leader-side dist.Transport that manages one connection per domain
+// and propagates context deadlines onto the wire.
+//
+// The messages are exactly the ones the in-process ChannelTransport moves;
+// the equivalence tests pin the two transports to bit-identical forest
+// costs, and the codec helpers in this package mirror the gob encoding
+// net/rpc applies so captured payloads can be replayed and fuzzed.
+//
+// Known limitation: leader cancellation reaches a remote handler only
+// through the wire time budget (CandidateRequest.Timeout, stamped from
+// the context deadline). Cancelling a deadline-free context severs the
+// connection — the leader returns promptly — but the domain finishes the
+// abandoned batch before discovering the dead connection. Give latency-
+// sensitive leaders a context deadline; in-batch abort (and streamed
+// partial responses) is the streaming-joins follow-up in the ROADMAP.
+package rpc
+
+import (
+	"context"
+	"net"
+	gorpc "net/rpc"
+	"sync"
+
+	"sof/internal/chain"
+	"sof/internal/dist"
+	"sof/internal/graph"
+)
+
+// ServiceName is the rpc service the domain registers.
+const ServiceName = "SOFDomain"
+
+// MethodCandidates is the fully qualified candidate-generation method.
+const MethodCandidates = ServiceName + ".Candidates"
+
+// DomainServer answers candidate requests for one domain controller. It
+// wraps the shared domain-side handler (dist.Domain): a private oracle
+// over the domain's view of the network, which must be built identically
+// to the leader's (same topology generator, seed, costs, and chain
+// options) for the graph-state handshake to pass.
+type DomainServer struct {
+	dom *dist.Domain
+}
+
+// NewDomainServer returns a domain controller over g.
+func NewDomainServer(g *graph.Graph, chainOpts chain.Options) *DomainServer {
+	return &DomainServer{dom: dist.NewDomain(g, chainOpts)}
+}
+
+// Candidates is the net/rpc handler: the shared handler verifies the
+// graph-state handshake, rebuilds the leader's cancellation horizon from
+// the wire timeout, and runs the oracle fan-out.
+func (s *DomainServer) Candidates(req *dist.CandidateRequest, resp *dist.CandidateResponse) error {
+	answer, err := s.dom.Answer(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	*resp = *answer
+	return nil
+}
+
+// Server is a running serve loop: a listener plus the connections it has
+// accepted, all torn down by Close.
+type Server struct {
+	lis net.Listener
+	srv *gorpc.Server
+	wg  sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+}
+
+// Serve registers ds under ServiceName and starts accepting connections on
+// lis in a background goroutine, one gob-codec ServeConn goroutine per
+// connection. The caller owns the returned Server and must Close it.
+func Serve(lis net.Listener, ds *DomainServer) (*Server, error) {
+	srv := gorpc.NewServer()
+	if err := srv.RegisterName(ServiceName, ds); err != nil {
+		return nil, err
+	}
+	s := &Server{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			// Close closed the listener (or the listener died); either way
+			// the loop is done.
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.srv.ServeConn(conn)
+			s.mu.Lock()
+			delete(s.conns, conn)
+			s.mu.Unlock()
+			conn.Close()
+		}()
+	}
+}
+
+// Addr returns the listener's address — useful with a ":0" listener.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops accepting, severs every live connection, and waits for the
+// per-connection goroutines to drain. Idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.lis.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}

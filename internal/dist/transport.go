@@ -1,0 +1,216 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sof/internal/chain"
+	"sof/internal/graph"
+)
+
+// Transport carries the leader↔domain candidate protocol. Send delivers
+// one request to the given domain controller and blocks until the domain
+// answers, the transport fails, or ctx is done. Implementations must be
+// safe for concurrent Sends to distinct domains (the leader scatters one
+// goroutine per domain) and should return ctx.Err() promptly once the
+// context is cancelled rather than waiting out a dead domain.
+//
+// A Send error means the domain's answer is unusable as a whole; per-pair
+// infeasibilities travel inside CandidateResponse.Results instead. The
+// leader retries failed Sends on a budget and then falls back to solving
+// that domain's pairs on a local oracle, so transport failures degrade
+// latency, never correctness.
+type Transport interface {
+	Send(ctx context.Context, domainID int, req *CandidateRequest) (*CandidateResponse, error)
+}
+
+// ChannelTransport is the in-process reference Transport: one long-lived
+// worker goroutine per domain, each owning a private chain oracle over the
+// shared graph, fed through unbuffered job channels. It is both the
+// deployment used by NewCluster (a multi-controller emulation inside one
+// process) and the test double RPC transports are checked against — the
+// payloads it moves are exactly the messages a wire transport carries.
+type ChannelTransport struct {
+	g       *graph.Graph
+	domains []*domainWorker
+	wg      sync.WaitGroup
+	// done is closed by Close; Sends and workers select on it, so a Send
+	// racing Close degrades to ErrTransportClosed instead of touching a
+	// closed channel (the leader's fallback then answers the batch).
+	done chan struct{}
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ErrTransportClosed is returned by ChannelTransport.Send after Close.
+var ErrTransportClosed = errors.New("dist: transport is closed")
+
+// ErrNoSuchDomain is wrapped by Transport.Send when the domain ID is not
+// one the transport serves — a leader misconfiguration (cluster domain
+// count exceeding the transport's), not a transient fault. The leader
+// neither retries it nor launders it into the fallback: the embedding
+// fails loudly so the operator learns the deployment is undersized.
+var ErrNoSuchDomain = errors.New("dist: transport has no such domain")
+
+// domainWorker is one emulated controller: the shared domain-side handler
+// plus the job stream its goroutine serves.
+type domainWorker struct {
+	dom  *Domain
+	jobs chan chanJob
+}
+
+// chanJob is one in-flight Send: the request, the caller's context, and a
+// buffered reply slot so the worker never blocks on a caller that gave up.
+type chanJob struct {
+	ctx   context.Context
+	req   *CandidateRequest
+	reply chan<- chanReply
+}
+
+type chanReply struct {
+	resp *CandidateResponse
+	err  error
+}
+
+// NewChannelTransport starts numDomains domain workers over g, each with a
+// private oracle configured by chainOpts. Callers must Close it to stop
+// the workers; Cluster does so automatically for the transport it creates.
+func NewChannelTransport(g *graph.Graph, numDomains int, chainOpts chain.Options) *ChannelTransport {
+	if numDomains < 1 {
+		numDomains = 1
+	}
+	t := &ChannelTransport{g: g, done: make(chan struct{})}
+	for i := 0; i < numDomains; i++ {
+		d := &domainWorker{
+			dom:  NewDomain(g, chainOpts),
+			jobs: make(chan chanJob),
+		}
+		t.domains = append(t.domains, d)
+		t.wg.Add(1)
+		go func() {
+			defer t.wg.Done()
+			d.serve(t.done)
+		}()
+	}
+	return t
+}
+
+// serve answers jobs until the transport closes.
+func (d *domainWorker) serve(done <-chan struct{}) {
+	for {
+		select {
+		case job := <-d.jobs:
+			resp, err := d.dom.Answer(job.ctx, job.req)
+			job.reply <- chanReply{resp: resp, err: err}
+		case <-done:
+			return
+		}
+	}
+}
+
+// Domain is the domain-side half of the protocol, shared by the channel
+// transport's workers and rpc.DomainServer: one controller's graph view,
+// private oracle, and epoch-memoized topology digest.
+type Domain struct {
+	g      *graph.Graph
+	oracle *chain.Oracle
+	opts   chain.Options
+	memo   digestMemo
+}
+
+// NewDomain returns a domain controller over g with a fresh oracle.
+func NewDomain(g *graph.Graph, chainOpts chain.Options) *Domain {
+	return &Domain{g: g, oracle: chain.NewOracle(g, chainOpts), opts: chainOpts}
+}
+
+// Answer handles one candidate request: verify the request's cost epoch,
+// topology digest, and source-setup pricing against this domain's view,
+// rebuild the leader's cancellation horizon from the wire timeout, fan the
+// pairs out over the oracle, and wrap the results for the wire.
+//
+// A graph-state mismatch is answered as a well-formed response carrying
+// the domain's own epoch/digest/pricing with no results, NOT as an error:
+// transports may flatten errors to strings (net/rpc does), but a response
+// crosses any codec intact, so the leader can classify the mismatch as
+// non-retryable (ErrGraphMismatch) instead of burning its retry budget.
+func (d *Domain) Answer(ctx context.Context, req *CandidateRequest) (*CandidateResponse, error) {
+	epoch := d.g.CostEpoch()
+	// The digest (plus the pricing mode) decides: it is a full content
+	// hash, so digest equality proves the two graphs agree even when the
+	// epoch counters drifted (e.g. the leader bumped its epoch and
+	// restored the costs — refusing on epoch alone would silently and
+	// permanently degrade a remote deployment to leader-local solving).
+	// The epoch only short-circuits the hash: when it matches the memo's
+	// last computation the digest is an atomic load away. Digest 0 means
+	// the leader shares this domain's graph and skipped the handshake
+	// (see CandidateRequest); nothing is hashed at all then.
+	digest := uint64(0)
+	if req.GraphDigest != 0 {
+		digest = d.memo.of(d.g)
+	}
+	if digest != req.GraphDigest || d.opts.SourceSetupCost != req.SourceSetup {
+		return &CandidateResponse{CostEpoch: epoch, GraphDigest: digest, SourceSetup: d.opts.SourceSetupCost}, nil
+	}
+	if req.Timeout != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.Timeout))
+		defer cancel()
+	}
+	results, err := d.oracle.Chains(ctx, req.VMs, req.Pairs, req.ChainLen, req.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+	return &CandidateResponse{
+		CostEpoch:   epoch,
+		GraphDigest: digest,
+		SourceSetup: d.opts.SourceSetupCost,
+		Results:     WireResults(results),
+	}, nil
+}
+
+// NumDomains returns the number of domain workers.
+func (t *ChannelTransport) NumDomains() int { return len(t.domains) }
+
+// Send dispatches the request to the domain's worker and waits for its
+// answer. Both the dispatch and the wait observe ctx, so a cancelled
+// leader returns promptly even while the worker is mid-computation (the
+// worker sees the same ctx and abandons the batch on its own).
+func (t *ChannelTransport) Send(ctx context.Context, domainID int, req *CandidateRequest) (*CandidateResponse, error) {
+	if domainID < 0 || domainID >= len(t.domains) {
+		return nil, fmt.Errorf("dist: domain %d out of range [0,%d): %w", domainID, len(t.domains), ErrNoSuchDomain)
+	}
+	reply := make(chan chanReply, 1)
+	select {
+	case t.domains[domainID].jobs <- chanJob{ctx: ctx, req: req, reply: reply}:
+	case <-t.done:
+		return nil, ErrTransportClosed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	select {
+	case r := <-reply:
+		return r.resp, r.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Close stops the domain workers and waits for them to drain. Idempotent
+// and safe against concurrent Sends: late Sends fail with
+// ErrTransportClosed rather than panicking.
+func (t *ChannelTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.done)
+	t.mu.Unlock()
+	t.wg.Wait()
+	return nil
+}

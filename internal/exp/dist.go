@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net"
 	"strings"
 	"time"
 
@@ -11,15 +12,32 @@ import (
 	"sof/internal/chain"
 	"sof/internal/core"
 	"sof/internal/dist"
+	distrpc "sof/internal/dist/rpc"
 	"sof/internal/topology"
 )
 
+// DistTransport selects how the leader reaches its domain controllers in
+// the distributed comparison.
+type DistTransport string
+
+// Transports of the distributed comparison.
+const (
+	// TransportInproc uses dist.ChannelTransport: domains are worker
+	// goroutines inside the leader process (the reference deployment).
+	TransportInproc DistTransport = "inproc"
+	// TransportRPC spins one net/rpc domain server per domain on
+	// 127.0.0.1:0 and reaches them through dist/rpc.Transport, so every
+	// candidate batch crosses a real gob-encoded TCP hop.
+	TransportRPC DistTransport = "rpc"
+)
+
 // DistRow is one distributed-vs-centralized comparison: the same request
-// solved by core.SOFDA and by a dist.Cluster with the given domain count.
-// Match reports cost equality, the distributed correctness claim of
-// Section VI.
+// solved by core.SOFDA and by a dist.Cluster with the given domain count
+// and transport. Match reports cost equality, the distributed correctness
+// claim of Section VI.
 type DistRow struct {
 	Net         NetKind
+	Transport   DistTransport
 	Domains     int
 	CentralCost float64
 	DistCost    float64
@@ -32,8 +50,11 @@ type DistRow struct {
 // for every (topology, domain count) combination, averaging costs and wall
 // times over runs seeds. The centralized baseline is solved once per
 // (topology, seed) and shared across domain counts — its cost does not
-// depend on the partitioning.
-func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int) ([]DistRow, error) {
+// depend on the partitioning. An empty transport means TransportInproc.
+func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int, transport DistTransport) ([]DistRow, error) {
+	if transport == "" {
+		transport = TransportInproc
+	}
 	type instance struct {
 		net       *topology.Network
 		req       core.Request
@@ -66,14 +87,19 @@ func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int) ([]Dist
 			}
 		}
 		for _, domains := range domainCounts {
-			row := DistRow{Net: kind, Domains: domains, Match: true}
+			row := DistRow{Net: kind, Transport: transport, Domains: domains, Match: true}
 			for _, in := range insts {
-				cluster := dist.NewCluster(in.net.G, domains, chain.Options{})
+				cluster, cleanup, err := newDistCluster(in.net, domains, transport)
+				if err != nil {
+					return nil, err
+				}
 				start := time.Now()
 				distributed, err := cluster.SOFDA(context.Background(), in.req, dist.Options{Core: in.opts})
 				cluster.Close()
+				cleanup()
 				if err != nil {
-					return nil, fmt.Errorf("exp: distributed SOFDA on %s (%d domains): %w", kind, domains, err)
+					return nil, fmt.Errorf("exp: distributed SOFDA on %s (%d domains, %s): %w",
+						kind, domains, transport, err)
 				}
 				row.DistMS += float64(time.Since(start).Microseconds()) / 1e3
 				row.CentralCost += in.cost
@@ -94,6 +120,52 @@ func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int) ([]Dist
 	return rows, nil
 }
 
+// newDistCluster builds the leader for one comparison point: an in-process
+// channel cluster, or real net/rpc domain servers on loopback listeners
+// plus an rpc transport pointed at them. cleanup tears the servers down.
+func newDistCluster(n *topology.Network, domains int, transport DistTransport) (*dist.Cluster, func(), error) {
+	switch transport {
+	case TransportInproc:
+		return dist.NewCluster(n.G, domains, chain.Options{}), func() {}, nil
+	case TransportRPC:
+		servers := make([]*distrpc.Server, 0, domains)
+		addrs := make([]string, 0, domains)
+		cleanup := func() {
+			for _, s := range servers {
+				s.Close()
+			}
+		}
+		for i := 0; i < domains; i++ {
+			lis, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("exp: listen for domain %d: %w", i, err)
+			}
+			srv, err := distrpc.Serve(lis, distrpc.NewDomainServer(n.G, chain.Options{}))
+			if err != nil {
+				lis.Close()
+				cleanup()
+				return nil, nil, fmt.Errorf("exp: serve domain %d: %w", i, err)
+			}
+			servers = append(servers, srv)
+			addrs = append(addrs, srv.Addr())
+		}
+		tr := distrpc.NewTransport(addrs)
+		cluster := dist.NewClusterWith(n.G, domains, dist.Config{Transport: tr, RetryBudget: 1})
+		return cluster, func() { tr.Close(); cleanup() }, nil
+	default:
+		return nil, nil, fmt.Errorf("exp: unknown dist transport %q", transport)
+	}
+}
+
+// DefaultRequest builds the Section VIII-A default request on kind — the
+// request a sofdomain-backed leader must use, since request randomness and
+// topology construction share the seed the domain processes were started
+// with.
+func DefaultRequest(kind NetKind, seed int64, inetNodes int) (*topology.Network, core.Request, error) {
+	return defaultRequest(kind, seed, inetNodes)
+}
+
 // defaultRequest builds the Section VIII-A default request on kind.
 func defaultRequest(kind NetKind, seed int64, inetNodes int) (*topology.Network, core.Request, error) {
 	n, err := buildNet(kind, DefaultVMs, seed, 1, inetNodes)
@@ -112,11 +184,11 @@ func defaultRequest(kind NetKind, seed int64, inetNodes int) (*topology.Network,
 func FormatDistTable(rows []DistRow) string {
 	var b strings.Builder
 	b.WriteString("Distributed SOFDA (Section VI): per-domain candidate generation + leader completion\n")
-	fmt.Fprintf(&b, "%-10s %8s %14s %14s %7s %12s %12s\n",
-		"network", "domains", "central-cost", "dist-cost", "match", "central-ms", "dist-ms")
+	fmt.Fprintf(&b, "%-10s %-8s %8s %14s %14s %7s %12s %12s\n",
+		"network", "via", "domains", "central-cost", "dist-cost", "match", "central-ms", "dist-ms")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %8d %14.2f %14.2f %7v %12.2f %12.2f\n",
-			r.Net, r.Domains, r.CentralCost, r.DistCost, r.Match, r.CentralMS, r.DistMS)
+		fmt.Fprintf(&b, "%-10s %-8s %8d %14.2f %14.2f %7v %12.2f %12.2f\n",
+			r.Net, r.Transport, r.Domains, r.CentralCost, r.DistCost, r.Match, r.CentralMS, r.DistMS)
 	}
 	return b.String()
 }

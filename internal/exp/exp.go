@@ -45,6 +45,14 @@ const (
 	NetInet      NetKind = "inet"
 )
 
+// BuildNet instantiates an evaluation topology deterministically: two
+// processes calling it with equal arguments build bit-identical networks,
+// including the graph's cost epoch — which is how cmd/sofdomain and a
+// leader agree on the network without shipping it over the wire.
+func BuildNet(kind NetKind, numVMs int, seed int64, inetNodes int) (*topology.Network, error) {
+	return buildNet(kind, numVMs, seed, 1, inetNodes)
+}
+
 // buildNet instantiates the topology with the given VM count.
 func buildNet(kind NetKind, numVMs int, seed int64, setupMult float64, inetNodes int) (*topology.Network, error) {
 	cfg := topology.Config{NumVMs: numVMs, Seed: seed, SetupCostMultiplier: setupMult}
