@@ -249,6 +249,52 @@ func BenchmarkDistributedSOFDA(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamedJoin compares the two leader↔domain join modes on one
+// instance: the one-shot batch exchange (the leader waits for every
+// domain's whole response before touching the aux graph) against
+// server-streamed fragment joins (candidates are spliced into the aux
+// graph as they land, dominated ones pruned before allocating state).
+// Streamed runs report fragments/op, pruned/op, and overlap-ms/op — the
+// per-embedding window in which the leader was assembling while the
+// slowest domain was still solving. A positive overlap is the point of
+// the exchange: batch mode's equivalent is identically zero.
+func BenchmarkStreamedJoin(b *testing.B) {
+	net := topology.Cogent(topology.Config{NumVMs: exp.DefaultVMs, Seed: 1})
+	rng := rand.New(rand.NewSource(1))
+	req := core.Request{
+		Sources:  net.RandomNodes(rng, exp.DefaultSources),
+		Dests:    net.RandomNodes(rng, exp.DefaultDests),
+		ChainLen: exp.DefaultChain,
+	}
+	opts := &core.Options{VMs: net.VMs}
+	for _, mode := range []struct {
+		name     string
+		streamed bool
+	}{{"batch", false}, {"stream", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cluster := dist.NewClusterWith(net.G, 3, dist.Config{Streaming: mode.streamed})
+			defer cluster.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if mode.streamed {
+				st := cluster.StreamStats()
+				n := float64(b.N)
+				b.ReportMetric(float64(st.StreamedFragments)/n, "frags/op")
+				b.ReportMetric(float64(st.PrunedCandidates)/n, "pruned/op")
+				b.ReportMetric(float64(st.OverlapNS)/n/1e6, "overlap-ms/op")
+				if st.OverlapNS <= 0 {
+					b.Fatal("streamed join reported zero leader overlap — the aux graph was not built incrementally")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkOnlineArrivals measures the session cache against the seed's
 // per-request re-derivation on an unchanged-cost arrival stream: "cold"
 // opens a fresh Solver per request (exactly what Network.Embed does),

@@ -38,6 +38,7 @@ func main() {
 		runs        = flag.Int("runs", 3, "random requests averaged per data point")
 		steps       = flag.Int("steps", 30, "arrivals for Fig. 12")
 		distrib     = flag.Bool("dist", false, "distributed SOFDA comparison (Section VI)")
+		stream      = flag.Bool("stream", false, "with -dist: compare server-streamed fragment joins against batch joins (with -domain-addrs: use the streamed exchange)")
 		transport   = flag.String("transport", "inproc", "distributed transport: inproc (channel) or rpc (net/rpc over loopback)")
 		domainAddrs = flag.String("domain-addrs", "", "comma-separated addresses of running sofdomain processes; with -dist, embeds against them instead of spinning loopback servers")
 		domainNet   = flag.String("domain-net", "softlayer", "topology the sofdomain processes were started with (-domain-addrs mode)")
@@ -140,7 +141,7 @@ func main() {
 	if *all || *distrib {
 		ran = true
 		if *domainAddrs != "" {
-			if err := runAgainstDomains(strings.Split(*domainAddrs, ","), exp.NetKind(*domainNet), *domainSeed, *domainInet); err != nil {
+			if err := runAgainstDomains(strings.Split(*domainAddrs, ","), exp.NetKind(*domainNet), *domainSeed, *domainInet, *stream); err != nil {
 				log.Fatalf("distributed embedding against %s: %v", *domainAddrs, err)
 			}
 		} else {
@@ -148,9 +149,19 @@ func main() {
 			if *quick {
 				kinds = kinds[:1]
 			}
-			rows, err := exp.DistTable(kinds, []int{1, 3, 5}, r, inet, exp.DistTransport(*transport))
-			if err != nil {
-				log.Fatalf("distributed comparison: %v", err)
+			// -stream compares both join modes over the chosen transport;
+			// without it only the batch exchange runs, as before.
+			modes := []bool{false}
+			if *stream {
+				modes = []bool{false, true}
+			}
+			var rows []exp.DistRow
+			for _, streamed := range modes {
+				mrows, err := exp.DistTable(kinds, []int{1, 3, 5}, r, inet, exp.DistTransport(*transport), streamed)
+				if err != nil {
+					log.Fatalf("distributed comparison: %v", err)
+				}
+				rows = append(rows, mrows...)
 			}
 			fmt.Println(exp.FormatDistTable(rows))
 		}
@@ -167,7 +178,7 @@ func main() {
 // disabled: this command exists to prove the RPC path works, so a dead or
 // misconfigured domain must fail loudly instead of being silently papered
 // over by a leader-local solve that never touched the wire.
-func runAgainstDomains(addrs []string, kind exp.NetKind, seed int64, inetNodes int) error {
+func runAgainstDomains(addrs []string, kind exp.NetKind, seed int64, inetNodes int, streamed bool) error {
 	network, req, err := exp.DefaultRequest(kind, seed, inetNodes)
 	if err != nil {
 		return err
@@ -180,7 +191,7 @@ func runAgainstDomains(addrs []string, kind exp.NetKind, seed int64, inetNodes i
 	tr := distrpc.NewTransport(addrs)
 	defer tr.Close()
 	cluster := dist.NewClusterWith(network.G, len(addrs), dist.Config{
-		Transport: tr, RetryBudget: 1, DisableFallback: true,
+		Transport: tr, RetryBudget: 1, DisableFallback: true, Streaming: streamed,
 	})
 	defer cluster.Close()
 	start := time.Now()
@@ -189,9 +200,18 @@ func runAgainstDomains(addrs []string, kind exp.NetKind, seed int64, inetNodes i
 		return fmt.Errorf("%w\n(are the sofdomain processes running, and started with -net %s -seed %d and the default -vms/-inet-nodes? every topology flag must match, or the graph-digest handshake refuses)",
 			err, kind, seed)
 	}
-	fmt.Printf("distributed SOFDA over %d sofdomain processes (%v): cost=%.2f in %.2fms\n",
-		len(addrs), addrs, f.TotalCost(), float64(time.Since(start).Microseconds())/1e3)
+	join := "batch"
+	if streamed {
+		join = "streamed"
+	}
+	fmt.Printf("distributed SOFDA over %d sofdomain processes, %s joins (%v): cost=%.2f in %.2fms\n",
+		len(addrs), join, addrs, f.TotalCost(), float64(time.Since(start).Microseconds())/1e3)
 	fmt.Printf("centralized SOFDA:                                   cost=%.2f (match=%v)\n",
 		central.TotalCost(), central.TotalCost() == f.TotalCost())
+	if streamed {
+		st := cluster.StreamStats()
+		fmt.Printf("streaming: %d fragments, %d results, %d pruned, overlap %.2fms\n",
+			st.StreamedFragments, st.StreamedResults, st.PrunedCandidates, float64(st.OverlapNS)/1e6)
+	}
 	return nil
 }

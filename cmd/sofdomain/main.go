@@ -2,7 +2,10 @@
 // process: it reconstructs the evaluation network deterministically from
 // flags (so the leader and every domain agree on the graph and its cost
 // epoch without shipping topology over the wire) and serves candidate
-// service-chain requests over net/rpc with the gob codec.
+// service-chain requests on one listener speaking both protocols — the
+// net/rpc batch exchange with the gob codec, and the framed-gob streaming
+// exchange, where candidates leave as fragments the moment they are
+// solved and a leader that hangs up cancels the batch mid-flight.
 //
 // A three-domain deployment is three sofdomain processes plus one leader
 // pointing a dist/rpc.Transport at them (the leader must be built with
@@ -12,11 +15,12 @@
 //	sofdomain -listen 127.0.0.1:9101 -net softlayer -seed 0 &
 //	sofdomain -listen 127.0.0.1:9102 -net softlayer -seed 0 &
 //	sofdomain -listen 127.0.0.1:9103 -net softlayer -seed 0 &
-//	experiments -dist -domain-addrs 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103
+//	experiments -dist -domain-addrs 127.0.0.1:9101,127.0.0.1:9102,127.0.0.1:9103 -stream
 //
-// Every domain answers any (source, last VM) pairs it is sent; which pairs
-// a domain owns is the leader's partitioning decision, so the same server
-// binary works for any domain count.
+// (drop -stream for the one-shot batch exchange; the same servers answer
+// both). Every domain answers any (source, last VM) pairs it is sent;
+// which pairs a domain owns is the leader's partitioning decision, so the
+// same server binary works for any domain count.
 package main
 
 import (

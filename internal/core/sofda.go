@@ -33,12 +33,14 @@ type auxGraph struct {
 	origEdges int
 }
 
-// buildAuxGraph constructs Ĝ. For chainLen == 0 the sources connect to
-// their duplicates directly (the problem degenerates to a Steiner forest).
-// Candidate chains for all (source, last VM) pairs are generated
-// concurrently through the oracle's fan-out pool; infeasible pairs
-// (unreachable or too few VMs) are skipped.
-func buildAuxGraph(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, sources, vms []graph.NodeID, chainLen, parallelism int) (*auxGraph, error) {
+// newAuxSkeleton constructs Ĝ's candidate-independent part: the original
+// network clone, ŝ, the source and VM duplicates, and their zero-cost
+// structural edges. For chainLen == 0 the sources connect to their
+// duplicates directly (the problem degenerates to a Steiner forest) and no
+// VM duplicates exist. Candidate edges are added afterwards — all at once
+// by the batch builders, or one at a time by AuxGraphBuilder as a
+// streamed candidate arrives.
+func newAuxSkeleton(g *graph.Graph, sources, vms []graph.NodeID, chainLen int) *auxGraph {
 	aux := &auxGraph{
 		g:         g.Clone(),
 		srcDup:    make(map[graph.NodeID]graph.NodeID, len(sources)),
@@ -62,7 +64,7 @@ func buildAuxGraph(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, so
 		for s, d := range aux.srcDup {
 			aux.g.MustAddEdge(d, s, 0)
 		}
-		return aux, nil
+		return aux
 	}
 	for _, u := range vms {
 		if _, ok := aux.vmDup[u]; ok {
@@ -72,6 +74,19 @@ func buildAuxGraph(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, so
 		aux.vmDup[u] = d
 		aux.dupToVM[d] = u
 		aux.g.MustAddEdge(d, u, 0)
+	}
+	return aux
+}
+
+// buildAuxGraph constructs Ĝ. For chainLen == 0 the sources connect to
+// their duplicates directly (the problem degenerates to a Steiner forest).
+// Candidate chains for all (source, last VM) pairs are generated
+// concurrently through the oracle's fan-out pool; infeasible pairs
+// (unreachable or too few VMs) are skipped.
+func buildAuxGraph(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, sources, vms []graph.NodeID, chainLen, parallelism int) (*auxGraph, error) {
+	aux := newAuxSkeleton(g, sources, vms, chainLen)
+	if chainLen == 0 {
+		return aux, nil
 	}
 	results, err := oracle.Chains(ctx, vms, chain.Pairs(sources, vms), chainLen, parallelism)
 	if err != nil {
@@ -92,58 +107,163 @@ func buildAuxGraph(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, so
 	return aux, nil
 }
 
-// buildAuxGraphFromCandidates constructs Ĝ from externally computed
-// candidate chains (the distributed implementation gathers them from the
-// per-domain controllers, Section VI).
-func buildAuxGraphFromCandidates(g *graph.Graph, sources, vms []graph.NodeID, chainLen int, candidates []*chain.ServiceChain) (*auxGraph, error) {
-	aux := &auxGraph{
-		g:         g.Clone(),
-		srcDup:    make(map[graph.NodeID]graph.NodeID, len(sources)),
-		vmDup:     make(map[graph.NodeID]graph.NodeID, len(vms)),
-		chains:    make(map[graph.EdgeID]*chain.ServiceChain),
-		dupToVM:   make(map[graph.NodeID]graph.NodeID, len(vms)),
-		origNodes: g.NumNodes(),
-		origEdges: g.NumEdges(),
+// AuxGraphBuilder assembles Ĝ incrementally from candidate chains as they
+// arrive: the streaming distributed leader (Section VI) feeds it fragment
+// by fragment instead of gathering every domain's batch first, and
+// finalizes into the same completion path SOFDAFromCandidatesCtx uses.
+// Feed candidates with AddCandidate in the centralized enumeration order
+// and finish with Complete; the resulting forest is identical to handing
+// the same candidates to SOFDAFromCandidatesCtx at once.
+//
+// With EnablePruning, dominated candidates are rejected on arrival and
+// never allocate aux-graph state (no edge, no chain entry, no CSR growth).
+// The prune rule is chosen so the final forest cost is provably unchanged:
+// an arriving candidate (s,u) with chain cost w is dominated when some
+// already-accepted candidate (s,u′) of the same source with cost w′
+// satisfies both
+//
+//	w > w′ + dist(u′,u)                      (strictly), and
+//	w + mst(u) > w′ + mst(u′)                (strictly),
+//
+// where dist is the real network's shortest-path metric and mst(x) the
+// metric-closure MST over {x} ∪ destinations. The first inequality makes
+// every Ĝ path through the pruned virtual edge strictly worse than the
+// bypass v̂ₛ→û_u′→u′⇝u→û_u, so no shortest path (and hence no KMB closure
+// entry or expansion) ever uses it; the second keeps it from winning the
+// per-source single-tree refinement, whose candidates are ranked by
+// exactly w + mst(u). Witnesses are themselves accepted candidates, so
+// the bypass survives in Ĝ.
+type AuxGraphBuilder struct {
+	g      *graph.Graph
+	req    Request
+	o      Options
+	vms    []graph.NodeID
+	oracle *chain.Oracle
+	aux    *auxGraph
+
+	pruning   bool
+	destTrees map[graph.NodeID]*graph.ShortestPaths
+	mst       map[graph.NodeID]float64
+	accepted  map[graph.NodeID][]auxCand
+
+	added, pruned int
+}
+
+// auxCand is one accepted candidate in the builder's per-source dominance
+// index: its last VM, chain cost, and single-tree rank (cost + mst).
+type auxCand struct {
+	lastVM graph.NodeID
+	cost   float64
+	rank   float64
+}
+
+// NewAuxGraphBuilder validates the request and builds Ĝ's skeleton. It
+// requires chainLen >= 1: with no chains to stream, the problem is a plain
+// Steiner forest and SOFDACtx solves it directly.
+func NewAuxGraphBuilder(g *graph.Graph, req Request, opts *Options) (*AuxGraphBuilder, error) {
+	if err := req.Validate(g); err != nil {
+		return nil, err
 	}
-	aux.sHat = aux.g.AddSwitch("ŝ")
-	for _, s := range sources {
-		if _, ok := aux.srcDup[s]; ok {
-			continue
-		}
-		d := aux.g.AddSwitch(fmt.Sprintf("src-dup-%d", s))
-		aux.srcDup[s] = d
-		aux.g.MustAddEdge(aux.sHat, d, 0)
+	if req.ChainLen < 1 {
+		return nil, errors.New("core: aux-graph builder requires chainLen >= 1 (chainLen 0 degenerates to a Steiner forest)")
 	}
-	for _, u := range vms {
-		if _, ok := aux.vmDup[u]; ok {
-			continue
-		}
-		d := aux.g.AddSwitch(fmt.Sprintf("vm-dup-%d", u))
-		aux.vmDup[u] = d
-		aux.dupToVM[d] = u
-		aux.g.MustAddEdge(d, u, 0)
+	o := optsOrDefault(opts)
+	b := &AuxGraphBuilder{g: g, req: req, o: o}
+	b.vms = o.vms(g)
+	b.oracle = o.oracle(g)
+	b.aux = newAuxSkeleton(g, req.Sources, b.vms, req.ChainLen)
+	return b, nil
+}
+
+// EnablePruning arms early dominated-candidate rejection. It precomputes
+// the per-destination shortest-path trees the rule's mst term needs —
+// trees the completion phase's refinement pulls from the same oracle
+// anyway, so under a session oracle the work is paid once.
+func (b *AuxGraphBuilder) EnablePruning() {
+	if b.pruning {
+		return
 	}
-	feasible := 0
-	for _, sc := range candidates {
-		if sc == nil || len(sc.VMs) != chainLen {
-			continue
-		}
-		sd, ok := aux.srcDup[sc.Source]
-		if !ok {
-			return nil, fmt.Errorf("core: candidate chain from unknown source %d", sc.Source)
-		}
-		ud, ok := aux.vmDup[sc.LastVM]
-		if !ok {
-			return nil, fmt.Errorf("core: candidate chain to unknown VM %d", sc.LastVM)
-		}
-		id := aux.g.MustAddEdge(sd, ud, sc.TotalCost())
-		aux.chains[id] = sc
-		feasible++
+	b.pruning = true
+	b.destTrees = make(map[graph.NodeID]*graph.ShortestPaths, len(b.req.Dests))
+	for _, d := range b.req.Dests {
+		b.destTrees[d] = b.oracle.Tree(d)
 	}
-	if feasible == 0 {
+	b.mst = make(map[graph.NodeID]float64)
+	b.accepted = make(map[graph.NodeID][]auxCand)
+}
+
+// closure returns the memoized metric-closure MST cost over {u} ∪ dests.
+func (b *AuxGraphBuilder) closure(u graph.NodeID) float64 {
+	if c, ok := b.mst[u]; ok {
+		return c
+	}
+	c := closureMST(u, b.req.Dests, b.destTrees)
+	b.mst[u] = c
+	return c
+}
+
+// dominated reports whether an arriving candidate is pruned under the
+// builder's rule; rank is its precomputed cost + mst term.
+func (b *AuxGraphBuilder) dominated(s, u graph.NodeID, w, rank float64) bool {
+	for _, c := range b.accepted[s] {
+		// dist(u′,u) comes from the oracle's cached tree rooted at u′; an
+		// unreachable u yields +Inf and the strict inequality keeps the
+		// candidate. dist(u,u) == 0 keeps duplicate pairs too (equal cost
+		// never strictly exceeds), matching the batch builder, which adds
+		// duplicate edges verbatim.
+		if w > c.cost+b.oracle.Tree(c.lastVM).Dist[u] && rank > c.rank {
+			return true
+		}
+	}
+	return false
+}
+
+// AddCandidate feeds one candidate chain into Ĝ. It reports whether the
+// chain was admitted: nil chains and wrong-length chains are skipped (as
+// the batch path skips them), and with pruning enabled a dominated
+// candidate is rejected without allocating any aux-graph state. Chains
+// from sources or to VMs outside the request are an error.
+func (b *AuxGraphBuilder) AddCandidate(sc *chain.ServiceChain) (bool, error) {
+	if sc == nil || len(sc.VMs) != b.req.ChainLen {
+		return false, nil
+	}
+	sd, ok := b.aux.srcDup[sc.Source]
+	if !ok {
+		return false, fmt.Errorf("core: candidate chain from unknown source %d", sc.Source)
+	}
+	ud, ok := b.aux.vmDup[sc.LastVM]
+	if !ok {
+		return false, fmt.Errorf("core: candidate chain to unknown VM %d", sc.LastVM)
+	}
+	w := sc.TotalCost()
+	if b.pruning {
+		rank := w + b.closure(sc.LastVM)
+		if b.dominated(sc.Source, sc.LastVM, w, rank) {
+			b.pruned++
+			return false, nil
+		}
+		b.accepted[sc.Source] = append(b.accepted[sc.Source], auxCand{lastVM: sc.LastVM, cost: w, rank: rank})
+	}
+	id := b.aux.g.MustAddEdge(sd, ud, w)
+	b.aux.chains[id] = sc
+	b.added++
+	return true, nil
+}
+
+// Added returns the number of candidates admitted into Ĝ.
+func (b *AuxGraphBuilder) Added() int { return b.added }
+
+// Pruned returns the number of candidates rejected as dominated.
+func (b *AuxGraphBuilder) Pruned() int { return b.pruned }
+
+// Complete runs the shared tail of Algorithm 2 (Steiner phase, forest
+// assembly, per-source refinement) over the incrementally built Ĝ.
+func (b *AuxGraphBuilder) Complete(ctx context.Context) (*Forest, error) {
+	ctx = ctxOrBackground(ctx)
+	if b.added == 0 {
 		return nil, errors.New("core: no feasible candidate service chain supplied")
 	}
-	return aux, nil
+	return completeForest(ctx, b.g, b.oracle, b.vms, b.req, b.aux, b.o.Parallelism)
 }
 
 // SOFDAFromCandidates runs Algorithm 2's Steiner, conflict-resolution, and
@@ -159,20 +279,22 @@ func SOFDAFromCandidates(g *graph.Graph, req Request, opts *Options, candidates 
 // observed between the Steiner, assembly, and per-source refinement phases.
 func SOFDAFromCandidatesCtx(ctx context.Context, g *graph.Graph, req Request, opts *Options, candidates []*chain.ServiceChain) (*Forest, error) {
 	ctx = ctxOrBackground(ctx)
-	if err := req.Validate(g); err != nil {
-		return nil, err
-	}
 	if req.ChainLen == 0 {
+		if err := req.Validate(g); err != nil {
+			return nil, err
+		}
 		return SOFDACtx(ctx, g, req, opts)
 	}
-	o := optsOrDefault(opts)
-	vms := o.vms(g)
-	oracle := o.oracle(g)
-	aux, err := buildAuxGraphFromCandidates(g, req.Sources, vms, req.ChainLen, candidates)
+	b, err := NewAuxGraphBuilder(g, req, opts)
 	if err != nil {
 		return nil, err
 	}
-	return completeForest(ctx, g, oracle, vms, req, aux, o.Parallelism)
+	for _, sc := range candidates {
+		if _, err := b.AddCandidate(sc); err != nil {
+			return nil, err
+		}
+	}
+	return b.Complete(ctx)
 }
 
 // completeForest runs the shared tail of Algorithm 2 over a built Ĝ: the

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
 
 	"sof/internal/chain"
 	"sof/internal/core"
@@ -68,6 +69,23 @@ type Config struct {
 	// Send fails past the retry budget fails the embedding with the
 	// transport error instead. Mostly for tests that assert on failures.
 	DisableFallback bool
+	// Streaming switches the leader to the server-streamed fragment
+	// exchange: domains emit CandidateFragments as pairs complete, and the
+	// leader splices them into the centralized candidate order and builds
+	// the auxiliary graph incrementally while slower domains are still
+	// solving — with dominated candidates pruned on arrival unless
+	// DisablePruning is set. The forest cost is identical to the batch
+	// exchange (and to centralized SOFDA). Requires a transport
+	// implementing StreamTransport; over a batch-only transport the leader
+	// quietly keeps the batch exchange, so wrappers and fault-injection
+	// doubles stay usable.
+	Streaming bool
+	// DisablePruning keeps dominated candidates in the streamed exchange:
+	// every feasible candidate allocates aux-graph state, exactly like the
+	// batch path. The forest cost is the same either way (the prune rule
+	// is cost-safe by construction); the switch exists for the equivalence
+	// tests and for measuring the pruning effect in isolation.
+	DisablePruning bool
 }
 
 // Cluster is the leader of a multi-domain SDN deployment: it partitions
@@ -93,6 +111,14 @@ type Cluster struct {
 	// memo caches the leader's topology digest per cost epoch, so each
 	// embedding's handshake stamp is an atomic load, not an O(V+E) hash.
 	memo digestMemo
+
+	// Streaming-exchange counters, cumulative across embeddings (see
+	// StreamStats).
+	streamFragments  atomic.Uint64
+	streamResults    atomic.Uint64
+	streamPruned     atomic.Uint64
+	streamEpochDrift atomic.Uint64
+	streamOverlapNS  atomic.Int64
 
 	// mu is held read-side for the duration of every SOFDA call and
 	// write-side by Close, so Close cannot pull the transport out from
@@ -169,6 +195,21 @@ func (c *Cluster) fallbackOracle() *chain.Oracle {
 		c.fallback = chain.NewOracle(c.g, c.cfg.Chain)
 	})
 	return c.fallback
+}
+
+// candidateRequest builds the wire request for one domain's pair slice.
+// It is the single construction point for both join modes, so a field
+// added to the protocol cannot silently zero-value on one path only.
+func (c *Cluster) candidateRequest(epoch, digest uint64, chainLen, parallelism int, vms []graph.NodeID, pairs []chain.Pair) *CandidateRequest {
+	return &CandidateRequest{
+		CostEpoch:   epoch,
+		GraphDigest: digest,
+		ChainLen:    chainLen,
+		Parallelism: parallelism,
+		VMs:         vms,
+		Pairs:       pairs,
+		SourceSetup: c.cfg.Chain.SourceSetupCost,
+	}
 }
 
 // sendCandidates moves one domain's request over the transport with the
@@ -284,6 +325,12 @@ func (c *Cluster) SOFDA(ctx context.Context, req core.Request, opts Options) (*c
 		digest = c.memo.of(c.g)
 	}
 
+	if c.cfg.Streaming {
+		if st, ok := c.transport.(StreamTransport); ok {
+			return c.sofdaStreaming(ctx, st, req, o, vms, pairs, perDomain, perIndices, epoch, digest, opts.Parallelism)
+		}
+	}
+
 	type domainReply struct {
 		domain  int
 		indices []int
@@ -303,15 +350,7 @@ func (c *Cluster) SOFDA(ctx context.Context, req core.Request, opts Options) (*c
 		if len(dp) == 0 {
 			continue
 		}
-		creq := &CandidateRequest{
-			CostEpoch:   epoch,
-			GraphDigest: digest,
-			ChainLen:    req.ChainLen,
-			Parallelism: opts.Parallelism,
-			VMs:         vms,
-			Pairs:       dp,
-			SourceSetup: c.cfg.Chain.SourceSetupCost,
-		}
+		creq := c.candidateRequest(epoch, digest, req.ChainLen, opts.Parallelism, vms, dp)
 		go func(d int, indices []int, creq *CandidateRequest) {
 			results, err := c.sendCandidates(ctx, d, creq)
 			out <- domainReply{domain: d, indices: indices, results: results, err: err}

@@ -83,6 +83,48 @@ type CandidateResponse struct {
 	Results     []CandidateResult
 }
 
+// FragmentResult is one pair's outcome inside a streamed fragment. Index
+// locates the result in the originating CandidateRequest's Pairs slice, so
+// fragments are self-splicing: a domain may emit results in completion
+// order (maximizing leader overlap) and the leader still restores the
+// request order exactly.
+type FragmentResult struct {
+	Index  int
+	Result CandidateResult
+}
+
+// CandidateFragment is one message of the server-streaming candidate
+// exchange: a domain answers a CandidateRequest with an ordered sequence
+// of fragments instead of a single CandidateResponse, so the leader can
+// splice candidates into the auxiliary graph while slower domains are
+// still solving.
+//
+// Every fragment — including the trailer — carries the domain's cost
+// epoch, graph digest, and source-setup pricing. The digest plays the same
+// role it does in the batch handshake (a refusal is a well-formed Done
+// fragment carrying the domain's own values and no results, so the
+// sentinel survives any codec), and the per-fragment epoch stamp makes a
+// mid-stream re-pricing on the domain observable: the leader counts epoch
+// drift, and on wire transports a re-pricing also moves the digest, which
+// refuses the remainder of the stream.
+type CandidateFragment struct {
+	CostEpoch   uint64
+	GraphDigest uint64
+	SourceSetup bool
+	// Seq numbers fragments within one exchange, starting at 0; the
+	// trailer carries the highest Seq.
+	Seq int
+	// Results are the pair outcomes this fragment delivers; empty on the
+	// trailer and on a handshake refusal.
+	Results []FragmentResult
+	// Done marks the trailer: no further fragments follow this exchange.
+	Done bool
+	// Err is a batch-level failure flattened to a string (Done trailers
+	// only) — a remote context error, never a per-pair infeasibility,
+	// which travels inside Results.
+	Err string
+}
+
 // ErrGraphMismatch reports that a domain's view of the network (topology
 // digest or source-setup pricing) differed from the leader's when it was
 // asked. The leader treats it as non-retryable — a re-send would see the

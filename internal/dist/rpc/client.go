@@ -30,6 +30,11 @@ type Transport struct {
 	mu      sync.Mutex
 	closed  bool
 	clients map[int]*clientEntry
+	// streams pools idle framed-gob stream connections per domain (see
+	// stream.go); streamActive tracks the ones inside a SendStream so
+	// Close severs in-flight streams instead of leaking them.
+	streams      map[int][]*streamConn
+	streamActive map[*streamConn]struct{}
 }
 
 // clientEntry is one cached domain connection plus the number of Sends
@@ -44,8 +49,10 @@ var _ dist.Transport = (*Transport)(nil)
 // NewTransport returns a transport that reaches domain i at addrs[i].
 func NewTransport(addrs []string) *Transport {
 	return &Transport{
-		addrs:   append([]string(nil), addrs...),
-		clients: make(map[int]*clientEntry),
+		addrs:        append([]string(nil), addrs...),
+		clients:      make(map[int]*clientEntry),
+		streams:      make(map[int][]*streamConn),
+		streamActive: make(map[*streamConn]struct{}),
 	}
 }
 
@@ -156,7 +163,8 @@ func (t *Transport) Send(ctx context.Context, domainID int, req *dist.CandidateR
 	}
 }
 
-// Close severs every cached connection. Sends after Close fail.
+// Close severs every cached connection — net/rpc clients, pooled stream
+// connections, and streams mid-exchange. Sends after Close fail.
 func (t *Transport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -166,12 +174,26 @@ func (t *Transport) Close() error {
 	t.closed = true
 	clients := t.clients
 	t.clients = nil
+	pooled := t.streams
+	t.streams = nil
+	active := make([]*streamConn, 0, len(t.streamActive))
+	for sc := range t.streamActive {
+		active = append(active, sc)
+	}
 	t.mu.Unlock()
 	var first error
 	for _, e := range clients {
 		if err := e.cl.Close(); err != nil && first == nil {
 			first = err
 		}
+	}
+	for _, pool := range pooled {
+		for _, sc := range pool {
+			sc.conn.Close()
+		}
+	}
+	for _, sc := range active {
+		sc.conn.Close()
 	}
 	return first
 }

@@ -45,6 +45,21 @@ func DecodeResponse(data []byte) (*dist.CandidateResponse, error) {
 	return resp, nil
 }
 
+// EncodeFragment gob-encodes a streamed candidate fragment.
+func EncodeFragment(f *dist.CandidateFragment) ([]byte, error) {
+	return encode(f)
+}
+
+// DecodeFragment decodes a gob-encoded candidate fragment, erroring
+// (never panicking) on corrupted payloads.
+func DecodeFragment(data []byte) (*dist.CandidateFragment, error) {
+	f := new(dist.CandidateFragment)
+	if err := decode(data, f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
 func encode(v any) ([]byte, error) {
 	var buf bytes.Buffer
 	if err := gob.NewEncoder(&buf).Encode(v); err != nil {

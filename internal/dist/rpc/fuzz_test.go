@@ -41,6 +41,40 @@ func FuzzCandidateCodec(f *testing.F) {
 	})
 }
 
+// FuzzCandidateFragmentCodec fuzzes the CandidateFragment wire codec —
+// the per-message frame of the streaming exchange. Seeds are real
+// fragments captured off a live AnswerStream run (a results-bearing one
+// and the Done trailer), so the corpus starts on the exact byte shapes
+// the framed-gob protocol moves.
+func FuzzCandidateFragmentCodec(f *testing.F) {
+	for _, frag := range captureFragments(f) {
+		data, err := EncodeFragment(frag)
+		if err != nil {
+			f.Fatalf("seed encode: %v", err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodeFragment(data) // must error, not panic, on corruption
+		if err != nil {
+			return
+		}
+		re, err := EncodeFragment(got)
+		if err != nil {
+			t.Fatalf("re-encoding a decoded fragment failed: %v", err)
+		}
+		got2, err := DecodeFragment(re)
+		if err != nil {
+			t.Fatalf("decoding a re-encoded fragment failed: %v", err)
+		}
+		if !reflect.DeepEqual(got, got2) {
+			t.Fatalf("fragment codec is not a fixed point:\n first %+v\nsecond %+v", got, got2)
+		}
+	})
+}
+
 // FuzzCandidateResponseCodec fuzzes the CandidateResponse wire codec.
 func FuzzCandidateResponseCodec(f *testing.F) {
 	_, resp := captureMessages(f)

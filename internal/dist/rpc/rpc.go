@@ -67,7 +67,10 @@ func (s *DomainServer) Candidates(req *dist.CandidateRequest, resp *dist.Candida
 type Server struct {
 	lis net.Listener
 	srv *gorpc.Server
-	wg  sync.WaitGroup
+	// ds answers both protocols the listener speaks: net/rpc batch calls
+	// and the framed-gob fragment streams (see stream.go).
+	ds *DomainServer
+	wg sync.WaitGroup
 
 	mu     sync.Mutex
 	closed bool
@@ -82,7 +85,7 @@ func Serve(lis net.Listener, ds *DomainServer) (*Server, error) {
 	if err := srv.RegisterName(ServiceName, ds); err != nil {
 		return nil, err
 	}
-	s := &Server{lis: lis, srv: srv, conns: make(map[net.Conn]struct{})}
+	s := &Server{lis: lis, srv: srv, ds: ds, conns: make(map[net.Conn]struct{})}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s, nil
@@ -108,7 +111,9 @@ func (s *Server) acceptLoop() {
 		s.wg.Add(1)
 		go func() {
 			defer s.wg.Done()
-			s.srv.ServeConn(conn)
+			// One listener, two protocols: the first bytes decide whether
+			// this is a net/rpc batch connection or a fragment stream.
+			s.sniffProtocol(conn)
 			s.mu.Lock()
 			delete(s.conns, conn)
 			s.mu.Unlock()

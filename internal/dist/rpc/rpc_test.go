@@ -13,6 +13,7 @@ import (
 	"sof/internal/core"
 	"sof/internal/dist"
 	"sof/internal/graph"
+	"sof/internal/kstroll"
 	"sof/internal/topology"
 )
 
@@ -59,7 +60,9 @@ func startDomains(t testing.TB, n int, build func(i int) *topology.Network) []st
 // Section VI carried over a real wire: on the 4-seed × 3-domain-count
 // matrix, SOFDA through net/rpc domain servers — each rebuilding the
 // network from the seed in its own right — costs exactly what the
-// centralized solver costs.
+// centralized solver costs. Both exchanges run over the same servers:
+// the one-shot batch call and the server-streamed fragment join (with
+// dominated-candidate pruning armed), which must agree bit for bit.
 func TestRPCEquivalenceMatrix(t *testing.T) {
 	for _, seed := range []int64{1, 7, 23, 42} {
 		network, req, opts := softLayerInstance(seed)
@@ -70,20 +73,151 @@ func TestRPCEquivalenceMatrix(t *testing.T) {
 		for _, domains := range []int{1, 3, 5} {
 			addrs := startDomains(t, domains, func(int) *topology.Network { return buildSoftLayer(seed) })
 			tr := NewTransport(addrs)
-			cluster := dist.NewClusterWith(network.G, domains, dist.Config{Transport: tr, RetryBudget: 1})
-			f, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts})
-			cluster.Close()
+			for _, streaming := range []bool{false, true} {
+				cluster := dist.NewClusterWith(network.G, domains, dist.Config{
+					Transport: tr, RetryBudget: 1, Streaming: streaming,
+				})
+				f, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts})
+				if err != nil {
+					cluster.Close()
+					tr.Close()
+					t.Fatalf("seed %d domains %d streaming=%v: rpc distributed: %v", seed, domains, streaming, err)
+				}
+				if err := f.Validate(req.Sources, req.Dests); err != nil {
+					t.Errorf("seed %d domains %d streaming=%v: infeasible forest: %v", seed, domains, streaming, err)
+				}
+				if f.TotalCost() != central.TotalCost() {
+					t.Errorf("seed %d domains %d streaming=%v: rpc cost %v != centralized %v",
+						seed, domains, streaming, f.TotalCost(), central.TotalCost())
+				}
+				if streaming {
+					if st := cluster.StreamStats(); st.StreamedResults == 0 {
+						t.Errorf("seed %d domains %d: streamed run moved no fragments (%+v)", seed, domains, st)
+					}
+				}
+				cluster.Close()
+			}
 			tr.Close()
-			if err != nil {
-				t.Fatalf("seed %d domains %d: rpc distributed: %v", seed, domains, err)
-			}
-			if err := f.Validate(req.Sources, req.Dests); err != nil {
-				t.Errorf("seed %d domains %d: infeasible forest: %v", seed, domains, err)
-			}
-			if f.TotalCost() != central.TotalCost() {
-				t.Errorf("seed %d domains %d: rpc cost %v != centralized %v",
-					seed, domains, f.TotalCost(), central.TotalCost())
-			}
+		}
+	}
+}
+
+// TestRPCStreamConnectionReuse runs several streamed embeddings over one
+// transport: the per-domain stream connections are dialed once, pooled
+// between exchanges, and costs stay pinned to the centralized result.
+func TestRPCStreamConnectionReuse(t *testing.T) {
+	network, req, opts := softLayerInstance(7)
+	central, err := core.SOFDA(network.G, req, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := startDomains(t, 3, func(int) *topology.Network { return buildSoftLayer(7) })
+	tr := NewTransport(addrs)
+	defer tr.Close()
+	cluster := dist.NewClusterWith(network.G, 3, dist.Config{Transport: tr, Streaming: true})
+	defer cluster.Close()
+	for i := 0; i < 4; i++ {
+		f, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts})
+		if err != nil {
+			t.Fatalf("streamed embedding %d: %v", i, err)
+		}
+		if f.TotalCost() != central.TotalCost() {
+			t.Fatalf("streamed embedding %d: cost %v != centralized %v", i, f.TotalCost(), central.TotalCost())
+		}
+	}
+}
+
+// slowSolver delays every k-stroll solve, making a domain's batch slow
+// enough that "abort at the next fragment write" is deterministically
+// observable: the leader's RST reaches the domain long before the batch
+// could finish on its own.
+type slowSolver struct {
+	inner kstroll.Solver
+	delay time.Duration
+}
+
+func (s slowSolver) Solve(in *kstroll.Instance) (*kstroll.Walk, error) {
+	time.Sleep(s.delay)
+	return s.inner.Solve(in)
+}
+
+func (s slowSolver) Name() string { return "slow-" + s.inner.Name() }
+
+// TestRPCStreamCancellationAbortsRemoteBatch pins the abandoned-batch fix
+// on the wire: a leader that cancels a deadline-free context mid-stream
+// severs the connection, and the remote domain must observe the dead peer
+// at its next fragment write and abort the oracle fan-out — not finish
+// the batch into the void, as the batch exchange documented it would.
+func TestRPCStreamCancellationAbortsRemoteBatch(t *testing.T) {
+	network, req, opts := softLayerInstance(7)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := NewDomainServer(buildSoftLayer(7).G, chain.Options{
+		Solver: slowSolver{inner: kstroll.Auto(), delay: 2 * time.Millisecond},
+	})
+	srv, err := Serve(lis, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	tr := NewTransport([]string{srv.Addr()})
+	defer tr.Close()
+
+	pairs := chain.Pairs(req.Sources, opts.VMs)
+	creq := &dist.CandidateRequest{
+		CostEpoch:   network.G.CostEpoch(),
+		GraphDigest: dist.GraphDigest(network.G),
+		ChainLen:    req.ChainLen,
+		Parallelism: 1, // sequential domain, so the abort point is crisp
+		VMs:         opts.VMs,
+		Pairs:       pairs,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err = tr.SendStream(ctx, 0, creq, func(f *dist.CandidateFragment) error {
+		cancel() // walk away after the first fragment, no deadline involved
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("SendStream after mid-stream cancel = %v, want context.Canceled", err)
+	}
+	// The domain aborts at its next fragment write; give the wind-down a
+	// moment, then require the solve counter to have stopped far short of
+	// the batch (and to stay stopped).
+	var solved uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := ds.dom.CacheStats().ChainMisses
+		if s == solved && s > 0 {
+			break // stable across a polling interval
+		}
+		solved = s
+		if time.Now().After(deadline) {
+			t.Fatal("domain solve counter never stabilized")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if solved >= uint64(len(pairs))/2 {
+		t.Fatalf("domain solved %d of %d pairs after the leader cancelled — abandoned batch not aborted", solved, len(pairs))
+	}
+}
+
+// TestFragmentCodecRoundTrip pins decode(encode(x)) == x on real captured
+// fragments, trailer included.
+func TestFragmentCodecRoundTrip(t *testing.T) {
+	for i, frag := range captureFragments(t) {
+		data, err := EncodeFragment(frag)
+		if err != nil {
+			t.Fatalf("fragment %d: encode: %v", i, err)
+		}
+		got, err := DecodeFragment(data)
+		if err != nil {
+			t.Fatalf("fragment %d: decode: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, frag) {
+			t.Errorf("fragment %d round trip mismatch:\n got %+v\nwant %+v", i, got, frag)
 		}
 	}
 }
@@ -356,6 +490,35 @@ func captureMessages(tb testing.TB) (*dist.CandidateRequest, *dist.CandidateResp
 		GraphDigest: creq.GraphDigest,
 		Results:     dist.WireResults(results),
 	}
+}
+
+// captureFragments runs a real AnswerStream over the captured request and
+// returns every fragment it emits — results-bearing fragments plus the
+// Done trailer — as ground truth for the codec tests and the fragment
+// fuzz target's seed corpus.
+func captureFragments(tb testing.TB) []*dist.CandidateFragment {
+	tb.Helper()
+	network, req, opts := softLayerInstance(1)
+	dom := dist.NewDomain(network.G, chain.Options{})
+	creq := &dist.CandidateRequest{
+		CostEpoch:   network.G.CostEpoch(),
+		GraphDigest: dist.GraphDigest(network.G),
+		ChainLen:    req.ChainLen,
+		Parallelism: 1,
+		VMs:         opts.VMs,
+		Pairs:       chain.Pairs(req.Sources, opts.VMs),
+	}
+	var frags []*dist.CandidateFragment
+	if err := dom.AnswerStream(context.Background(), creq, func(f *dist.CandidateFragment) error {
+		frags = append(frags, f)
+		return nil
+	}); err != nil {
+		tb.Fatalf("capture fragments: %v", err)
+	}
+	if len(frags) < 2 {
+		tb.Fatalf("capture fragments: got %d fragments, want results plus trailer", len(frags))
+	}
+	return frags
 }
 
 // TestCandidateCodecRoundTrip pins decode(encode(x)) == x on real captured

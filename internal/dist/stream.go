@@ -1,0 +1,258 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"sof/internal/chain"
+	"sof/internal/core"
+	"sof/internal/graph"
+)
+
+// StreamStats is a snapshot of the cluster's streaming-exchange counters,
+// cumulative across embeddings. It is all zeros while the cluster runs the
+// batch exchange (Config.Streaming off, or a transport without streaming).
+type StreamStats struct {
+	// StreamedFragments counts CandidateFragments the leader consumed,
+	// trailers included.
+	StreamedFragments uint64
+	// StreamedResults counts per-pair results delivered through fragments
+	// (fallback-solved pairs are not streamed and not counted).
+	StreamedResults uint64
+	// PrunedCandidates counts feasible candidates rejected as dominated
+	// before allocating any aux-graph state.
+	PrunedCandidates uint64
+	// EpochDrift counts fragments whose cost epoch differed from the
+	// request's. Drift alone is observability, not refusal — the digest
+	// decides, exactly as in the batch handshake — but a non-zero value
+	// flags that a domain re-priced mid-stream.
+	EpochDrift uint64
+	// OverlapNS accumulates, per embedding, the time between the leader's
+	// first aux-graph insertion and the last domain finishing its stream:
+	// the window in which leader-side assembly overlapped domain-side
+	// solving. The batch exchange's equivalent is identically zero — the
+	// leader cannot start before the slowest domain returns.
+	OverlapNS int64
+}
+
+// StreamStats returns the streaming-exchange counters.
+func (c *Cluster) StreamStats() StreamStats {
+	return StreamStats{
+		StreamedFragments: c.streamFragments.Load(),
+		StreamedResults:   c.streamResults.Load(),
+		PrunedCandidates:  c.streamPruned.Load(),
+		EpochDrift:        c.streamEpochDrift.Load(),
+		OverlapNS:         c.streamOverlapNS.Load(),
+	}
+}
+
+// streamEvent is one message from a domain stream goroutine to the
+// splicer: either a located pair result or the domain's completion notice.
+type streamEvent struct {
+	global int
+	res    CandidateResult
+	done   bool
+	domain int
+	err    error
+}
+
+// sofdaStreaming is the streamed gather: one goroutine per non-empty
+// domain drives SendStream (with retry over the undelivered remainder and
+// the local-oracle fallback), the splicer stores located results into a
+// reorder buffer, and a cursor feeds the aux-graph builder exactly in the
+// centralized candidate order as the prefix becomes available — so the
+// auxiliary graph (and with it the forest cost) is bit-identical to the
+// batch exchange while its construction overlaps the slower domains.
+func (c *Cluster) sofdaStreaming(ctx context.Context, st StreamTransport, req core.Request, o *core.Options, vms []graph.NodeID, pairs []chain.Pair, perDomain [][]chain.Pair, perIndices [][]int, epoch, digest uint64, parallelism int) (*core.Forest, error) {
+	builder, err := core.NewAuxGraphBuilder(c.g, req, o)
+	if err != nil {
+		return nil, err
+	}
+	if !c.cfg.DisablePruning {
+		builder.EnablePruning()
+	}
+	dispatched := 0
+	for _, dp := range perDomain {
+		if len(dp) > 0 {
+			dispatched++
+		}
+	}
+	// Buffered to every possible message (each pair delivered at most once
+	// plus one done notice per domain), so domain goroutines never block on
+	// the splicer and an early-erroring embed leaks nothing.
+	events := make(chan streamEvent, len(pairs)+dispatched)
+	for d, dp := range perDomain {
+		if len(dp) == 0 {
+			continue
+		}
+		creq := c.candidateRequest(epoch, digest, req.ChainLen, parallelism, vms, dp)
+		go func(d int, creq *CandidateRequest, indices []int) {
+			err := c.streamDomain(ctx, st, d, creq, indices, events)
+			events <- streamEvent{done: true, domain: d, err: err}
+		}(d, creq, perIndices[d])
+	}
+
+	results := make([]CandidateResult, len(pairs))
+	have := make([]bool, len(pairs))
+	cursor := 0
+	var firstFeed time.Time
+	for remaining := dispatched; remaining > 0; {
+		select {
+		case ev := <-events:
+			if ev.done {
+				remaining--
+				if ev.err != nil {
+					if ctx.Err() != nil {
+						return nil, ctx.Err()
+					}
+					return nil, fmt.Errorf("dist: domain %d: %w", ev.domain, ev.err)
+				}
+				continue
+			}
+			have[ev.global] = true
+			results[ev.global] = ev.res
+			for cursor < len(pairs) && have[cursor] {
+				r := results[cursor]
+				cursor++
+				if r.Err != "" || r.Chain == nil {
+					continue // per-pair infeasibility, skipped like the batch path
+				}
+				if firstFeed.IsZero() {
+					firstFeed = time.Now()
+				}
+				if _, err := builder.AddCandidate(r.Chain); err != nil {
+					return nil, err
+				}
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	// Per-goroutine sends are ordered, so by the time every done notice is
+	// consumed all result events have been too; a short cursor means a
+	// domain violated the protocol without erroring.
+	if cursor != len(pairs) {
+		return nil, fmt.Errorf("dist: stream ended with %d of %d candidates spliced", cursor, len(pairs))
+	}
+	if !firstFeed.IsZero() {
+		c.streamOverlapNS.Add(int64(time.Since(firstFeed)))
+	}
+	c.streamPruned.Add(uint64(builder.Pruned()))
+	if builder.Added() == 0 {
+		return nil, fmt.Errorf("dist: no domain produced a feasible candidate chain")
+	}
+	return builder.Complete(ctx)
+}
+
+// streamDomain moves one domain's request over the streaming transport
+// with the configured retry budget. Results already delivered to the
+// splicer stay delivered; a failed stream is retried — and finally
+// answered by the leader-local fallback — only for the undelivered
+// remainder, so no pair is ever spliced twice and no completed work is
+// re-bought. Context errors and ErrNoSuchDomain surface immediately;
+// ErrGraphMismatch skips the pointless retries, as in the batch path.
+func (c *Cluster) streamDomain(ctx context.Context, st StreamTransport, domainID int, req *CandidateRequest, indices []int, events chan<- streamEvent) error {
+	n := len(req.Pairs)
+	delivered := make([]bool, n)
+	deliveredCount := 0
+	// The current attempt's sub-request and its index map back into the
+	// original request's pair slots.
+	subReq := req
+	subLocal := make([]int, n)
+	for i := range subLocal {
+		subLocal[i] = i
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.RetryBudget; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		local := subLocal
+		err := st.SendStream(ctx, domainID, subReq, func(f *CandidateFragment) error {
+			c.streamFragments.Add(1)
+			if f.CostEpoch != req.CostEpoch {
+				c.streamEpochDrift.Add(1)
+			}
+			// Digest equality proves content equality; epoch drift over an
+			// identical graph must not refuse (see sendCandidates).
+			if f.GraphDigest != req.GraphDigest || f.SourceSetup != req.SourceSetup {
+				return fmt.Errorf("dist: domain %d streamed graph digest %x sourceSetup %v, want digest %x sourceSetup %v: %w",
+					domainID, f.GraphDigest, f.SourceSetup,
+					req.GraphDigest, req.SourceSetup, ErrGraphMismatch)
+			}
+			for _, fr := range f.Results {
+				if fr.Index < 0 || fr.Index >= len(local) {
+					return fmt.Errorf("dist: domain %d fragment index %d out of range [0,%d)", domainID, fr.Index, len(local))
+				}
+				i := local[fr.Index]
+				if delivered[i] {
+					return fmt.Errorf("dist: domain %d delivered pair %d twice", domainID, i)
+				}
+				delivered[i] = true
+				deliveredCount++
+				c.streamResults.Add(1)
+				events <- streamEvent{global: indices[i], res: fr.Result}
+			}
+			return nil
+		})
+		if err == nil {
+			if deliveredCount == n {
+				return nil
+			}
+			// A clean trailer with pairs missing is a protocol violation;
+			// re-request the remainder like any failed attempt.
+			err = fmt.Errorf("dist: domain %d stream ended after %d of %d results", domainID, deliveredCount, n)
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if errors.Is(err, ErrNoSuchDomain) {
+			return err
+		}
+		if errors.Is(err, ErrGraphMismatch) {
+			break
+		}
+		if deliveredCount > 0 {
+			subReq, subLocal = undeliveredRemainder(req, delivered)
+		}
+	}
+	if c.cfg.DisableFallback {
+		return fmt.Errorf("dist: domain %d failed past retry budget %d: %w",
+			domainID, c.cfg.RetryBudget, lastErr)
+	}
+	var fbPairs []chain.Pair
+	var fbLocal []int
+	for i, d := range delivered {
+		if !d {
+			fbPairs = append(fbPairs, req.Pairs[i])
+			fbLocal = append(fbLocal, i)
+		}
+	}
+	results, err := c.fallbackOracle().Chains(ctx, req.VMs, fbPairs, req.ChainLen, req.Parallelism)
+	if err != nil {
+		return err
+	}
+	for j, r := range WireResults(results) {
+		events <- streamEvent{global: indices[fbLocal[j]], res: r}
+	}
+	return nil
+}
+
+// undeliveredRemainder builds the retry sub-request covering exactly the
+// pairs the previous attempts did not deliver, plus the map from the
+// sub-request's pair indices back to the original request's.
+func undeliveredRemainder(req *CandidateRequest, delivered []bool) (*CandidateRequest, []int) {
+	sub := *req
+	sub.Pairs = nil
+	var local []int
+	for i, d := range delivered {
+		if !d {
+			sub.Pairs = append(sub.Pairs, req.Pairs[i])
+			local = append(local, i)
+		}
+	}
+	return &sub, local
+}

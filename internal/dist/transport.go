@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 
@@ -25,6 +26,24 @@ import (
 // latency, never correctness.
 type Transport interface {
 	Send(ctx context.Context, domainID int, req *CandidateRequest) (*CandidateResponse, error)
+}
+
+// StreamTransport is the streaming capability of a Transport: SendStream
+// delivers one request and invokes sink for every CandidateFragment the
+// domain emits — including the Done trailer — on the calling goroutine, in
+// stream order. It returns once the trailer has been consumed, the sink
+// errors (which must abort the remote exchange so the domain stops
+// solving), the transport fails, or ctx is done. A sink error is returned
+// verbatim; like Send, a SendStream error means the un-delivered remainder
+// of the exchange is unusable, while results already handed to the sink
+// remain valid — the leader retries or falls back only for the remainder.
+//
+// The capability is optional by design: wrappers and test doubles that
+// only implement Send keep working, and the cluster quietly uses the
+// batch exchange when Config.Streaming is set over a batch-only transport.
+type StreamTransport interface {
+	Transport
+	SendStream(ctx context.Context, domainID int, req *CandidateRequest, sink func(*CandidateFragment) error) error
 }
 
 // ChannelTransport is the in-process reference Transport: one long-lived
@@ -63,12 +82,16 @@ type domainWorker struct {
 	jobs chan chanJob
 }
 
-// chanJob is one in-flight Send: the request, the caller's context, and a
-// buffered reply slot so the worker never blocks on a caller that gave up.
+// chanJob is one in-flight Send or SendStream: the request, the caller's
+// context, and a buffered reply slot so the worker never blocks on a
+// caller that gave up. A non-nil frags channel selects the streaming path:
+// the worker emits fragments into it, closes it, and then reports the
+// batch-level error on reply.
 type chanJob struct {
 	ctx   context.Context
 	req   *CandidateRequest
 	reply chan<- chanReply
+	frags chan *CandidateFragment
 }
 
 type chanReply struct {
@@ -104,6 +127,21 @@ func (d *domainWorker) serve(done <-chan struct{}) {
 	for {
 		select {
 		case job := <-d.jobs:
+			if job.frags != nil {
+				err := d.dom.AnswerStream(job.ctx, job.req, func(f *CandidateFragment) error {
+					select {
+					case job.frags <- f:
+						return nil
+					case <-job.ctx.Done():
+						return job.ctx.Err()
+					case <-done:
+						return ErrTransportClosed
+					}
+				})
+				close(job.frags)
+				job.reply <- chanReply{err: err}
+				continue
+			}
 			resp, err := d.dom.Answer(job.ctx, job.req)
 			job.reply <- chanReply{resp: resp, err: err}
 		case <-done:
@@ -172,6 +210,151 @@ func (d *Domain) Answer(ctx context.Context, req *CandidateRequest) (*CandidateR
 	}, nil
 }
 
+// CacheStats reports the domain oracle's cache counters — Dijkstra-tree
+// and solved-chain hits/misses. ChainMisses counts k-stroll solves, which
+// is what the cancellation tests observe: an aborted batch must stop
+// solving well before the pair count.
+func (d *Domain) CacheStats() chain.CacheStats { return d.oracle.Stats() }
+
+// AnswerStream is the streaming form of Answer: the same handshake and
+// cancellation horizon, but results are emitted as CandidateFragments as
+// pairs complete (coalescing whatever is ready into each fragment) instead
+// of a single batch response, and the exchange ends with a Done trailer.
+//
+// Fragments carry completion-order results located by FragmentResult.Index
+// — the leader splices, so the domain never stalls a fast pair behind a
+// slow one. A handshake mismatch is a single Done fragment carrying the
+// domain's own epoch/digest/pricing and no results (the streaming twin of
+// the batch refusal response). An emit error aborts the oracle fan-out
+// before the next fragment: the feeder stops, in-flight solves finish, and
+// the error is returned — this is how a severed stream (dead leader, sink
+// failure) cancels a remote batch mid-flight instead of burning the
+// domain's oracle on abandoned work.
+func (d *Domain) AnswerStream(ctx context.Context, req *CandidateRequest, emit func(*CandidateFragment) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	digest := uint64(0)
+	if req.GraphDigest != 0 {
+		digest = d.memo.of(d.g)
+	}
+	// Fragments are stamped with the domain's *live* epoch and digest, not
+	// the handshake-time capture: a re-pricing mid-exchange moves both, so
+	// the leader observes the drift on the very next fragment (a counter
+	// bump in-process, a digest refusal of the stream's remainder on wire
+	// transports — the batch exchange could only mix stale and fresh costs
+	// silently). The digest re-read is an atomic epoch load while costs
+	// are stable (see digestMemo). Digest-0 requests keep digest 0: the
+	// leader shares this domain's graph and skipped the content handshake.
+	stamp := func(f *CandidateFragment) *CandidateFragment {
+		f.CostEpoch = d.g.CostEpoch()
+		f.GraphDigest = digest
+		if req.GraphDigest != 0 {
+			f.GraphDigest = d.memo.of(d.g)
+		}
+		f.SourceSetup = d.opts.SourceSetupCost
+		return f
+	}
+	if digest != req.GraphDigest || d.opts.SourceSetupCost != req.SourceSetup {
+		return emit(stamp(&CandidateFragment{Done: true}))
+	}
+	if req.Timeout != 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.Timeout))
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	n := len(req.Pairs)
+	if n == 0 {
+		return emit(stamp(&CandidateFragment{Done: true}))
+	}
+	par := req.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+
+	// completed is buffered to the pair count so workers never block on it:
+	// the emitter can bail out on a dead stream and the pool still drains.
+	completed := make(chan FragmentResult, n)
+	solve := func(i int) FragmentResult {
+		p := req.Pairs[i]
+		fr := FragmentResult{Index: i}
+		sc, err := d.oracle.Chain(req.VMs, p.Source, p.LastVM, req.ChainLen)
+		fr.Result = CandidateResult{Pair: p, Chain: sc}
+		if err != nil {
+			fr.Result.Err = err.Error()
+			fr.Result.Chain = nil
+		}
+		return fr
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	// Defers run LIFO: cancel first (stops the feeder), then wait for the
+	// workers' in-flight solves — so an early return aborts the fan-out
+	// promptly instead of finishing the abandoned batch.
+	defer wg.Wait()
+	defer cancel()
+	jobs := make(chan int)
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				completed <- solve(i)
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case jobs <- i:
+			case <-sctx.Done():
+				return
+			}
+		}
+	}()
+
+	seq := 0
+	received := 0
+	for received < n {
+		var frag CandidateFragment
+		select {
+		case fr := <-completed:
+			frag.Results = append(frag.Results, fr)
+			received++
+		case <-sctx.Done():
+			return sctx.Err()
+		}
+	coalesce:
+		// Opportunistic batching: everything already solved rides in this
+		// fragment, so fragment count adapts to the leader/domain speed
+		// ratio instead of being fixed per pair.
+		for received < n {
+			select {
+			case fr := <-completed:
+				frag.Results = append(frag.Results, fr)
+				received++
+			default:
+				break coalesce
+			}
+		}
+		frag.Seq = seq
+		if err := emit(stamp(&frag)); err != nil {
+			return err
+		}
+		seq++
+	}
+	return emit(stamp(&CandidateFragment{Seq: seq, Done: true}))
+}
+
 // NumDomains returns the number of domain workers.
 func (t *ChannelTransport) NumDomains() int { return len(t.domains) }
 
@@ -196,6 +379,57 @@ func (t *ChannelTransport) Send(ctx context.Context, domainID int, req *Candidat
 		return r.resp, r.err
 	case <-ctx.Done():
 		return nil, ctx.Err()
+	}
+}
+
+// SendStream dispatches the request to the domain's worker and invokes
+// sink for each fragment the domain emits, on the calling goroutine. A
+// sink error cancels the worker-side fan-out (the domain aborts before its
+// next fragment) and is returned after the stream winds down; caller
+// cancellation propagates the same way.
+func (t *ChannelTransport) SendStream(ctx context.Context, domainID int, req *CandidateRequest, sink func(*CandidateFragment) error) error {
+	if domainID < 0 || domainID >= len(t.domains) {
+		return fmt.Errorf("dist: domain %d out of range [0,%d): %w", domainID, len(t.domains), ErrNoSuchDomain)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The worker emits under sctx, so cancelling it — on a sink error —
+	// aborts the domain-side oracle fan-out at the next fragment.
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	reply := make(chan chanReply, 1)
+	job := chanJob{ctx: sctx, req: req, reply: reply, frags: make(chan *CandidateFragment)}
+	select {
+	case t.domains[domainID].jobs <- job:
+	case <-t.done:
+		return ErrTransportClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	var sinkErr error
+	for {
+		select {
+		case f, ok := <-job.frags:
+			if !ok {
+				r := <-reply
+				if sinkErr != nil {
+					return sinkErr
+				}
+				return r.err
+			}
+			if sinkErr == nil {
+				if err := sink(f); err != nil {
+					sinkErr = err
+					cancel() // abort the domain; keep draining until it closes frags
+				}
+			}
+		case <-ctx.Done():
+			// The worker shares (a child of) ctx and winds down on its own.
+			return ctx.Err()
+		case <-t.done:
+			return ErrTransportClosed
+		}
 	}
 }
 

@@ -32,26 +32,37 @@ const (
 )
 
 // DistRow is one distributed-vs-centralized comparison: the same request
-// solved by core.SOFDA and by a dist.Cluster with the given domain count
-// and transport. Match reports cost equality, the distributed correctness
-// claim of Section VI.
+// solved by core.SOFDA and by a dist.Cluster with the given domain count,
+// transport, and join mode. Match reports cost equality, the distributed
+// correctness claim of Section VI. Streamed rows additionally report the
+// per-embedding averages of the streaming counters: fragments consumed,
+// dominated candidates pruned before allocating aux-graph state, and the
+// leader-overlap window (time between the leader's first aux-graph
+// insertion and the slowest domain finishing — identically zero for batch
+// joins, where the leader cannot start early).
 type DistRow struct {
 	Net         NetKind
 	Transport   DistTransport
+	Streamed    bool
 	Domains     int
 	CentralCost float64
 	DistCost    float64
 	Match       bool
 	CentralMS   float64
 	DistMS      float64
+	Fragments   float64
+	Pruned      float64
+	OverlapMS   float64
 }
 
 // DistTable runs the distributed comparison on the paper-default request
 // for every (topology, domain count) combination, averaging costs and wall
 // times over runs seeds. The centralized baseline is solved once per
 // (topology, seed) and shared across domain counts — its cost does not
-// depend on the partitioning. An empty transport means TransportInproc.
-func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int, transport DistTransport) ([]DistRow, error) {
+// depend on the partitioning. An empty transport means TransportInproc;
+// streamed selects the server-streamed fragment join over the one-shot
+// batch exchange.
+func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int, transport DistTransport, streamed bool) ([]DistRow, error) {
 	if transport == "" {
 		transport = TransportInproc
 	}
@@ -87,24 +98,28 @@ func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int, transpo
 			}
 		}
 		for _, domains := range domainCounts {
-			row := DistRow{Net: kind, Transport: transport, Domains: domains, Match: true}
+			row := DistRow{Net: kind, Transport: transport, Streamed: streamed, Domains: domains, Match: true}
 			for _, in := range insts {
-				cluster, cleanup, err := newDistCluster(in.net, domains, transport)
+				cluster, cleanup, err := newDistCluster(in.net, domains, transport, streamed)
 				if err != nil {
 					return nil, err
 				}
 				start := time.Now()
 				distributed, err := cluster.SOFDA(context.Background(), in.req, dist.Options{Core: in.opts})
+				stats := cluster.StreamStats()
 				cluster.Close()
 				cleanup()
 				if err != nil {
-					return nil, fmt.Errorf("exp: distributed SOFDA on %s (%d domains, %s): %w",
-						kind, domains, transport, err)
+					return nil, fmt.Errorf("exp: distributed SOFDA on %s (%d domains, %s, streamed=%v): %w",
+						kind, domains, transport, streamed, err)
 				}
 				row.DistMS += float64(time.Since(start).Microseconds()) / 1e3
 				row.CentralCost += in.cost
 				row.CentralMS += in.centralMS
 				row.DistCost += distributed.TotalCost()
+				row.Fragments += float64(stats.StreamedFragments)
+				row.Pruned += float64(stats.PrunedCandidates)
+				row.OverlapMS += float64(stats.OverlapNS) / 1e6
 				if in.cost != distributed.TotalCost() {
 					row.Match = false
 				}
@@ -114,6 +129,9 @@ func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int, transpo
 			row.DistCost /= n
 			row.CentralMS /= n
 			row.DistMS /= n
+			row.Fragments /= n
+			row.Pruned /= n
+			row.OverlapMS /= n
 			rows = append(rows, row)
 		}
 	}
@@ -123,10 +141,10 @@ func DistTable(kinds []NetKind, domainCounts []int, runs, inetNodes int, transpo
 // newDistCluster builds the leader for one comparison point: an in-process
 // channel cluster, or real net/rpc domain servers on loopback listeners
 // plus an rpc transport pointed at them. cleanup tears the servers down.
-func newDistCluster(n *topology.Network, domains int, transport DistTransport) (*dist.Cluster, func(), error) {
+func newDistCluster(n *topology.Network, domains int, transport DistTransport, streamed bool) (*dist.Cluster, func(), error) {
 	switch transport {
 	case TransportInproc:
-		return dist.NewCluster(n.G, domains, chain.Options{}), func() {}, nil
+		return dist.NewClusterWith(n.G, domains, dist.Config{Streaming: streamed}), func() {}, nil
 	case TransportRPC:
 		servers := make([]*distrpc.Server, 0, domains)
 		addrs := make([]string, 0, domains)
@@ -151,7 +169,7 @@ func newDistCluster(n *topology.Network, domains int, transport DistTransport) (
 			addrs = append(addrs, srv.Addr())
 		}
 		tr := distrpc.NewTransport(addrs)
-		cluster := dist.NewClusterWith(n.G, domains, dist.Config{Transport: tr, RetryBudget: 1})
+		cluster := dist.NewClusterWith(n.G, domains, dist.Config{Transport: tr, RetryBudget: 1, Streaming: streamed})
 		return cluster, func() { tr.Close(); cleanup() }, nil
 	default:
 		return nil, nil, fmt.Errorf("exp: unknown dist transport %q", transport)
@@ -180,15 +198,23 @@ func defaultRequest(kind NetKind, seed int64, inetNodes int) (*topology.Network,
 	}, nil
 }
 
-// FormatDistTable renders the rows as a text table.
+// FormatDistTable renders the rows as a text table. The frags/pruned/
+// overlap columns are live only on streamed rows: batch joins move whole
+// responses and give the leader no overlap window.
 func FormatDistTable(rows []DistRow) string {
 	var b strings.Builder
 	b.WriteString("Distributed SOFDA (Section VI): per-domain candidate generation + leader completion\n")
-	fmt.Fprintf(&b, "%-10s %-8s %8s %14s %14s %7s %12s %12s\n",
-		"network", "via", "domains", "central-cost", "dist-cost", "match", "central-ms", "dist-ms")
+	fmt.Fprintf(&b, "%-10s %-8s %-7s %8s %14s %14s %7s %12s %12s %8s %8s %10s\n",
+		"network", "via", "join", "domains", "central-cost", "dist-cost", "match", "central-ms", "dist-ms",
+		"frags", "pruned", "overlap-ms")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-10s %-8s %8d %14.2f %14.2f %7v %12.2f %12.2f\n",
-			r.Net, r.Transport, r.Domains, r.CentralCost, r.DistCost, r.Match, r.CentralMS, r.DistMS)
+		join := "batch"
+		if r.Streamed {
+			join = "stream"
+		}
+		fmt.Fprintf(&b, "%-10s %-8s %-7s %8d %14.2f %14.2f %7v %12.2f %12.2f %8.1f %8.1f %10.2f\n",
+			r.Net, r.Transport, join, r.Domains, r.CentralCost, r.DistCost, r.Match, r.CentralMS, r.DistMS,
+			r.Fragments, r.Pruned, r.OverlapMS)
 	}
 	return b.String()
 }

@@ -242,6 +242,79 @@ func TestSolverEmbedStreamCancellation(t *testing.T) {
 	}
 }
 
+// TestSolverAdmissionThresholdStream drives EmbedStream through a
+// rejecting admission threshold (Lukovszki & Schmid's online admission
+// model): requests whose embed cost exceeds the caller's bound must come
+// back as typed ErrAdmissionRejected results, cheap-enough requests must
+// still embed, and a rejection must not perturb later embeds (no side
+// effects on the network or session).
+func TestSolverAdmissionThresholdStream(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 8, Seed: 3})
+	snet := FromGraph(net.G)
+	reqs := solverTestRequests(net, 12)
+
+	// Reference costs from an unconstrained session.
+	plain := NewSolver(snet, WithVMs(net.VMs...), WithParallelism(1))
+	costs := make([]float64, len(reqs))
+	for i, r := range reqs {
+		f, err := plain.Embed(context.Background(), r)
+		if err != nil {
+			t.Fatalf("reference embed %d: %v", i, err)
+		}
+		costs[i] = f.TotalCost()
+	}
+	// A threshold between the cheapest and most expensive request splits
+	// the stream into admitted and rejected halves.
+	lo, hi := costs[0], costs[0]
+	for _, c := range costs {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if lo == hi {
+		t.Fatalf("degenerate workload: all requests cost %v", lo)
+	}
+	threshold := (lo + hi) / 2
+
+	solver := NewSolver(snet, WithVMs(net.VMs...), WithParallelism(1),
+		WithAdmissionThreshold(func(marginalCost float64) bool { return marginalCost <= threshold }))
+	in := make(chan Request)
+	go func() {
+		defer close(in)
+		for _, r := range reqs {
+			in <- r
+		}
+	}()
+	admitted, rejected := 0, 0
+	for res := range solver.EmbedStream(context.Background(), in) {
+		want := costs[res.Index] <= threshold
+		switch {
+		case res.Err == nil && res.Forest != nil:
+			admitted++
+			if !want {
+				t.Errorf("request %d (cost %v) admitted past threshold %v", res.Index, costs[res.Index], threshold)
+			}
+			if res.Forest.TotalCost() != costs[res.Index] {
+				t.Errorf("request %d: admitted cost %v != reference %v — a rejection perturbed the session",
+					res.Index, res.Forest.TotalCost(), costs[res.Index])
+			}
+		case errors.Is(res.Err, ErrAdmissionRejected):
+			rejected++
+			if want {
+				t.Errorf("request %d (cost %v) rejected under threshold %v", res.Index, costs[res.Index], threshold)
+			}
+		default:
+			t.Errorf("request %d: unexpected result err=%v", res.Index, res.Err)
+		}
+	}
+	if admitted == 0 || rejected == 0 {
+		t.Fatalf("threshold did not split the stream: %d admitted, %d rejected", admitted, rejected)
+	}
+}
+
 // TestForestJoinRespectsVMRestriction is the regression test for dynamic
 // operations leaking outside the embed-time VM restriction: the cheapest
 // join for d2 runs through the forbidden (and very cheap) VM w, and the
