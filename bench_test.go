@@ -23,6 +23,7 @@ import (
 	"sof/internal/dist"
 	"sof/internal/emu"
 	"sof/internal/exp"
+	"sof/internal/graph"
 	"sof/internal/online"
 	"sof/internal/sofexact"
 	"sof/internal/topology"
@@ -268,11 +269,15 @@ func BenchmarkStreamedJoin(b *testing.B) {
 	}
 	opts := &core.Options{VMs: net.VMs}
 	for _, mode := range []struct {
-		name     string
-		streamed bool
-	}{{"batch", false}, {"stream", true}} {
+		name string
+		cfg  dist.Config
+	}{
+		{"batch", dist.Config{}},
+		{"stream", dist.Config{Streaming: true}},
+		{"eager", dist.Config{Streaming: true, EagerClosure: true}},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
-			cluster := dist.NewClusterWith(net.G, 3, dist.Config{Streaming: mode.streamed})
+			cluster := dist.NewClusterWith(net.G, 3, mode.cfg)
 			defer cluster.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -281,7 +286,7 @@ func BenchmarkStreamedJoin(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			if mode.streamed {
+			if mode.cfg.Streaming {
 				st := cluster.StreamStats()
 				n := float64(b.N)
 				b.ReportMetric(float64(st.StreamedFragments)/n, "frags/op")
@@ -290,9 +295,40 @@ func BenchmarkStreamedJoin(b *testing.B) {
 				if st.OverlapNS <= 0 {
 					b.Fatal("streamed join reported zero leader overlap — the aux graph was not built incrementally")
 				}
+				if mode.cfg.EagerClosure {
+					b.ReportMetric(float64(st.EarlyClosures)/n, "closures-early/op")
+					if st.EarlyClosures == 0 {
+						b.Fatal("eager join closed nothing before the completion phase")
+					}
+				}
 			}
 		})
 	}
+}
+
+// BenchmarkDijkstraBatch is the batched many-source SSSP claim in
+// isolation: one DijkstraBatch call over k sources against k independent
+// pooled Dijkstra runs on the same graph. Both share the arena pool; the
+// batch variant additionally carves all per-source result arrays from
+// three batch-wide allocations and fetches the CSR once, so allocs/op is
+// the headline — it must sit well under the independent variant's.
+func BenchmarkDijkstraBatch(b *testing.B) {
+	net := topology.Cogent(topology.Config{NumVMs: exp.DefaultVMs, Seed: 1})
+	sources := net.VMs[:16]
+	b.Run("independent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, s := range sources {
+				graph.Dijkstra(net.G, s)
+			}
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			graph.DijkstraBatch(net.G, sources, nil)
+		}
+	})
 }
 
 // BenchmarkOnlineArrivals measures the session cache against the seed's

@@ -1,0 +1,95 @@
+package chain
+
+import (
+	"context"
+	"testing"
+
+	"sof/internal/graph"
+	"sof/internal/topology"
+)
+
+// TestWarmTreesMissNeutral pins the warming contract: warming a set of
+// origins costs exactly one miss per distinct origin, demand lookups on
+// warmed origins are pure hits, and re-warming is free. The miss count
+// must equal what a demand-faulted session would pay — the CI benchmark
+// gate on dijkstras/op rides on this.
+func TestWarmTreesMissNeutral(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 8, Seed: 5})
+	o := NewOracle(net.G, Options{})
+	origins := append([]graph.NodeID{0, 1, 2, 1, 0}, net.VMs...)
+	distinct := make(map[graph.NodeID]bool)
+	for _, n := range origins {
+		distinct[n] = true
+	}
+
+	if got := o.WarmTrees(context.Background(), origins); got != len(distinct) {
+		t.Fatalf("WarmTrees computed %d trees, want %d distinct origins", got, len(distinct))
+	}
+	if st := o.Stats(); st.Misses != uint64(len(distinct)) || st.Hits != 0 {
+		t.Fatalf("after warm: misses=%d hits=%d, want misses=%d hits=0", st.Misses, st.Hits, len(distinct))
+	}
+
+	// Demand lookups on warmed origins: hits only, and the shared entries.
+	for n := range distinct {
+		if sp := o.Tree(n); sp.Source != n {
+			t.Fatalf("Tree(%d).Source = %d", n, sp.Source)
+		}
+	}
+	if st := o.Stats(); st.Misses != uint64(len(distinct)) {
+		t.Fatalf("demand lookups after warm added misses: %d, want %d", st.Misses, len(distinct))
+	}
+
+	// Re-warming an already-warm set computes nothing.
+	if got := o.WarmTrees(context.Background(), origins); got != 0 {
+		t.Fatalf("re-warm computed %d trees, want 0", got)
+	}
+}
+
+// TestWarmTreesEpochInvalidation: a cost mutation stales every warmed
+// tree; the next warm recomputes them at the new epoch and serves fresh
+// distances.
+func TestWarmTreesEpochInvalidation(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 6, Seed: 9})
+	o := NewOracle(net.G, Options{})
+	origins := net.VMs[:3]
+	if got := o.WarmTrees(context.Background(), origins); got != 3 {
+		t.Fatalf("first warm computed %d, want 3", got)
+	}
+	net.G.SetEdgeCost(0, net.G.EdgeCost(0)+1)
+	if got := o.WarmTrees(context.Background(), origins); got != 3 {
+		t.Fatalf("warm after re-pricing computed %d, want 3", got)
+	}
+	want := graph.Dijkstra(net.G, origins[0])
+	got := o.Tree(origins[0])
+	for v := range want.Dist {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("stale distance served after re-warm: Dist[%d]=%v want %v", v, got.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+// TestWarmTreesCancellation: a cancelled warm leaves the un-computed
+// entries harmless — the next demand lookup computes them through the
+// usual singleflight path, with no double counting.
+func TestWarmTreesCancellation(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 6, Seed: 13})
+	o := NewOracle(net.G, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var origins []graph.NodeID
+	for n := 0; n < net.G.NumNodes(); n++ {
+		origins = append(origins, graph.NodeID(n))
+	}
+	if got := o.WarmTrees(ctx, origins); got != 0 {
+		t.Fatalf("cancelled warm computed %d trees, want 0", got)
+	}
+	// Every origin still resolves on demand.
+	for _, n := range origins {
+		if sp := o.Tree(n); sp == nil || sp.Source != n {
+			t.Fatalf("Tree(%d) after cancelled warm is broken", n)
+		}
+	}
+	if st := o.Stats(); st.Misses != uint64(len(origins)) {
+		t.Fatalf("misses=%d after demand-faulting %d origins", st.Misses, len(origins))
+	}
+}

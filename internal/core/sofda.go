@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
+	"time"
 
 	"sof/internal/chain"
 	"sof/internal/graph"
@@ -147,6 +149,52 @@ type AuxGraphBuilder struct {
 	accepted  map[graph.NodeID][]auxCand
 
 	added, pruned int
+
+	// Eager single-tree refinement (EnableEager): once every expected
+	// candidate of a source has been fed, that source's per-source
+	// refinement (winner ranking, KMB over the real network, forest
+	// assembly) launches on its own goroutine, overlapping the remaining
+	// stream instead of waiting for Complete. Candidate sets are final per
+	// source at that point — candidates only ever attach to their own
+	// source's duplicate, and the prune rule only consults same-source
+	// witnesses — so the eager run sees exactly the state the completion
+	// phase would.
+	eager      bool
+	expect     map[graph.NodeID]int
+	srcCands   map[graph.NodeID][]srcCand
+	eagerRuns  map[graph.NodeID]*eagerRun
+	eagerWG    sync.WaitGroup
+	destWarmed int
+	// Filled by Complete: eager runs finished before the completion
+	// phase's refinement loop demanded them, and the summed per-source
+	// head-start — the wall-clock between each run's launch and that
+	// demand point (capped at the run's finish), during which the run was
+	// in flight or ready while the stream tail and the Ĝ Steiner phase
+	// did other work. Sources run as concurrent lanes, so the sum can
+	// exceed the embedding's wall time, like CPU-seconds.
+	earlyRuns int
+	earlyNS   int64
+}
+
+// srcCand is one admitted candidate of a source, in Ĝ insertion order: the
+// virtual edge and its chain. The eager refinement works off this snapshot
+// so it never reads the concurrently growing aux graph.
+type srcCand struct {
+	edge graph.EdgeID
+	sc   *chain.ServiceChain
+}
+
+// eagerRun holds one source's eagerly computed refinement forest. started
+// is stamped synchronously at launch (the moment the source's last
+// candidate was delivered); the remaining fields are written only by the
+// run's own goroutine and read after the builder's WaitGroup settles.
+// forest is nil when the source has no feasible single-chain tree — the
+// same outcome the inline path skips.
+type eagerRun struct {
+	started  time.Time
+	forest   *Forest
+	dur      time.Duration
+	finished time.Time
 }
 
 // auxCand is one accepted candidate in the builder's per-source dominance
@@ -184,12 +232,132 @@ func (b *AuxGraphBuilder) EnablePruning() {
 		return
 	}
 	b.pruning = true
+	b.ensureDestTrees()
+	b.mst = make(map[graph.NodeID]float64)
+	b.accepted = make(map[graph.NodeID][]auxCand)
+}
+
+// ensureDestTrees warms and pins the per-destination shortest-path trees
+// shared by pruning and the eager refinement. The warm pass is batched
+// (one arena, one CSR fetch) and miss-neutral, so oracle counters match a
+// demand-faulted session.
+func (b *AuxGraphBuilder) ensureDestTrees() {
+	if b.destTrees != nil {
+		return
+	}
+	b.destWarmed = b.oracle.WarmTrees(context.Background(), b.req.Dests)
 	b.destTrees = make(map[graph.NodeID]*graph.ShortestPaths, len(b.req.Dests))
 	for _, d := range b.req.Dests {
 		b.destTrees[d] = b.oracle.Tree(d)
 	}
-	b.mst = make(map[graph.NodeID]float64)
-	b.accepted = make(map[graph.NodeID][]auxCand)
+}
+
+// EnableEager arms overlapped per-source refinement: call
+// ExpectCandidates with each source's pair count, then NoteDelivered as
+// every pair resolves (admitted, pruned, or infeasible alike). When a
+// source's count reaches zero its candidate set is final, and the
+// builder starts that source's single-tree refinement concurrently with
+// the rest of the stream; Complete consumes the precomputed forests
+// instead of recomputing them. The eager runs read only the immutable
+// request, the concurrency-safe oracle, and a per-source candidate
+// snapshot, so they commute with ongoing AddCandidate calls — and the
+// forests they produce are the ones the inline refinement would build,
+// so the final cost is bit-identical.
+func (b *AuxGraphBuilder) EnableEager() {
+	if b.eager {
+		return
+	}
+	b.eager = true
+	b.expect = make(map[graph.NodeID]int)
+	b.srcCands = make(map[graph.NodeID][]srcCand)
+	b.eagerRuns = make(map[graph.NodeID]*eagerRun)
+	b.ensureDestTrees()
+}
+
+// ExpectCandidates declares how many candidate deliveries source s will
+// see (its pair count). Must precede the first NoteDelivered(s). A zero
+// count launches the source's (vacuous) refinement immediately.
+func (b *AuxGraphBuilder) ExpectCandidates(s graph.NodeID, n int) {
+	if !b.eager {
+		return
+	}
+	b.expect[s] = n
+	if n == 0 {
+		b.launchEager(s)
+	}
+}
+
+// NoteDelivered records that one of source s's expected candidates has
+// resolved — whether it was admitted, pruned, or infeasible. The count
+// reaching zero launches the source's eager refinement.
+func (b *AuxGraphBuilder) NoteDelivered(s graph.NodeID) {
+	if !b.eager {
+		return
+	}
+	n, ok := b.expect[s]
+	if !ok {
+		return
+	}
+	n--
+	b.expect[s] = n
+	if n == 0 {
+		b.launchEager(s)
+	}
+}
+
+// launchEager starts source s's refinement goroutine over its final
+// candidate snapshot. Idempotent per source.
+func (b *AuxGraphBuilder) launchEager(s graph.NodeID) {
+	if _, ok := b.eagerRuns[s]; ok {
+		return
+	}
+	if _, ok := b.aux.srcDup[s]; !ok {
+		return
+	}
+	run := &eagerRun{started: time.Now()}
+	b.eagerRuns[s] = run
+	cands := b.srcCands[s]
+	b.eagerWG.Add(1)
+	go func() {
+		defer b.eagerWG.Done()
+		run.forest = b.eagerForest(cands)
+		run.finished = time.Now()
+		run.dur = run.finished.Sub(run.started)
+	}()
+}
+
+// eagerForest is one source's refinement computed off the aux graph: pick
+// the winning candidate, KMB it against the destinations over the real
+// network, and assemble the forest through a shim aux that carries only
+// the winner's chain entry. For chainLen >= 1 assembly consults the aux
+// graph solely to classify edges and map the virtual winner back to its
+// chain, so the shim reproduces the full-aux result exactly.
+func (b *AuxGraphBuilder) eagerForest(cands []srcCand) *Forest {
+	edges, winner := singleTreeEdges(b.g, b.oracle, cands, b.req, b.destTrees)
+	if edges == nil {
+		return nil
+	}
+	shim := &auxGraph{
+		chains:    map[graph.EdgeID]*chain.ServiceChain{winner.edge: winner.sc},
+		origNodes: b.aux.origNodes,
+		origEdges: b.aux.origEdges,
+	}
+	f, err := assembleForest(b.g, b.oracle, b.vms, b.req, shim, edges)
+	if err != nil {
+		return nil
+	}
+	return f
+}
+
+// EagerOverlap reports how much closure work the eager mode moved off
+// the completion phase's critical path: the number of closure passes
+// finished early (warmed destination trees plus per-source refinements
+// that completed before the refinement loop demanded them) and the
+// summed per-source head-start in nanoseconds — launch to demand,
+// capped at each run's finish. Per-source lanes overlap, so the sum can
+// exceed wall time. Valid after Complete returns.
+func (b *AuxGraphBuilder) EagerOverlap() (closuresEarly int, overlapNS int64) {
+	return b.destWarmed + b.earlyRuns, b.earlyNS
 }
 
 // closure returns the memoized metric-closure MST cost over {u} ∪ dests.
@@ -246,6 +414,9 @@ func (b *AuxGraphBuilder) AddCandidate(sc *chain.ServiceChain) (bool, error) {
 	}
 	id := b.aux.g.MustAddEdge(sd, ud, w)
 	b.aux.chains[id] = sc
+	if b.eager {
+		b.srcCands[sc.Source] = append(b.srcCands[sc.Source], srcCand{edge: id, sc: sc})
+	}
 	b.added++
 	return true, nil
 }
@@ -257,13 +428,60 @@ func (b *AuxGraphBuilder) Added() int { return b.added }
 func (b *AuxGraphBuilder) Pruned() int { return b.pruned }
 
 // Complete runs the shared tail of Algorithm 2 (Steiner phase, forest
-// assembly, per-source refinement) over the incrementally built Ĝ.
+// assembly, per-source refinement) over the incrementally built Ĝ. With
+// eager mode armed, the per-source refinement consumes the forests the
+// eager runs precomputed — waiting for stragglers only after the Ĝ
+// Steiner phase, so late runs still overlap it — and records the overlap
+// accounting EagerOverlap reports.
 func (b *AuxGraphBuilder) Complete(ctx context.Context) (*Forest, error) {
 	ctx = ctxOrBackground(ctx)
 	if b.added == 0 {
+		b.eagerWG.Wait()
 		return nil, errors.New("core: no feasible candidate service chain supplied")
 	}
-	return completeForest(ctx, b.g, b.oracle, b.vms, b.req, b.aux, b.o.Parallelism)
+	var refined func(graph.NodeID) (*Forest, bool)
+	var demand time.Time
+	if b.eager {
+		var waitOnce sync.Once
+		refined = func(s graph.NodeID) (*Forest, bool) {
+			// The refinement loop's first call marks the moment the
+			// completion phase demands the eager results: everything a run
+			// did before this instant overlapped the stream tail and the Ĝ
+			// Steiner phase instead of serializing after them.
+			waitOnce.Do(func() {
+				demand = time.Now()
+				b.eagerWG.Wait()
+			})
+			run, ok := b.eagerRuns[s]
+			if !ok {
+				return nil, false
+			}
+			return run.forest, true
+		}
+	}
+	f, err := completeForestWith(ctx, b.g, b.oracle, b.vms, b.req, b.aux, b.o.Parallelism, refined)
+	if b.eager {
+		b.eagerWG.Wait()
+		b.earlyRuns, b.earlyNS = 0, 0
+		if demand.IsZero() {
+			demand = time.Now()
+		}
+		for _, run := range b.eagerRuns {
+			if !run.finished.After(demand) {
+				// Finished before the completion phase asked: this closure
+				// never blocked the pipeline.
+				b.earlyRuns++
+			}
+			end := run.finished
+			if demand.Before(end) {
+				end = demand
+			}
+			if lead := end.Sub(run.started); lead > 0 {
+				b.earlyNS += int64(lead)
+			}
+		}
+	}
+	return f, err
 }
 
 // SOFDAFromCandidates runs Algorithm 2's Steiner, conflict-resolution, and
@@ -308,6 +526,16 @@ func SOFDAFromCandidatesCtx(ctx context.Context, g *graph.Graph, req Request, op
 // destination trees go through the oracle instead, staying warm across a
 // request stream.
 func completeForest(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, vms []graph.NodeID, req Request, aux *auxGraph, par int) (*Forest, error) {
+	return completeForestWith(ctx, g, oracle, vms, req, aux, par, nil)
+}
+
+// completeForestWith is completeForest with an optional refinement
+// shortcut: when refined is non-nil and returns (f, true) for a source,
+// f is that source's precomputed single-tree forest (nil when the source
+// has none) and the inline computation is skipped. The eager builder
+// supplies forests computed by the identical code path, so the shortcut
+// changes wall-clock only, never the result.
+func completeForestWith(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, vms []graph.NodeID, req Request, aux *auxGraph, par int, refined func(graph.NodeID) (*Forest, bool)) (*Forest, error) {
 	terminals := append([]graph.NodeID{aux.sHat}, req.Dests...)
 	tree, err := steiner.KMBWith(aux.g, terminals, &steiner.KMBOptions{Parallelism: resolvePar(par)})
 	if err != nil {
@@ -330,21 +558,36 @@ func completeForest(ctx context.Context, g *graph.Graph, oracle *chain.Oracle, v
 	// cheapest assembled forest. This keeps the 3ρST guarantee — the KMB
 	// candidate is never discarded for a worse one — while shaving the
 	// 2-approximation noise on instances where one tree is optimal.
-	destTrees := make(map[graph.NodeID]*graph.ShortestPaths, len(req.Dests))
-	for _, d := range req.Dests {
-		destTrees[d] = oracle.Tree(d)
-	}
+	var destTrees map[graph.NodeID]*graph.ShortestPaths
 	for _, s := range req.Sources {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		cand := bestSingleTree(g, oracle, aux, s, req, destTrees)
-		if cand == nil {
-			continue
+		var f *Forest
+		if refined != nil {
+			var ok bool
+			if f, ok = refined(s); !ok {
+				f = nil
+			} else if f == nil {
+				continue
+			}
 		}
-		f, err := assembleForest(g, oracle, vms, req, aux, cand)
-		if err != nil {
-			continue
+		if f == nil {
+			if destTrees == nil {
+				destTrees = make(map[graph.NodeID]*graph.ShortestPaths, len(req.Dests))
+				for _, d := range req.Dests {
+					destTrees[d] = oracle.Tree(d)
+				}
+			}
+			cand := bestSingleTree(g, oracle, aux, s, req, destTrees)
+			if cand == nil {
+				continue
+			}
+			var err error
+			f, err = assembleForest(g, oracle, vms, req, aux, cand)
+			if err != nil {
+				continue
+			}
 		}
 		if f.TotalCost() < best.TotalCost() {
 			best = f
@@ -397,30 +640,44 @@ func bestSingleTree(g *graph.Graph, oracle *chain.Oracle, aux *auxGraph, s graph
 	if !ok {
 		return nil
 	}
-	bestEdge := graph.NoEdge
-	bestCost := 0.0
+	var cands []srcCand
 	for _, a := range aux.g.Adj(sHatDup) {
-		sc, ok := aux.chains[a.Edge]
-		if !ok {
-			continue
-		}
-		c := sc.TotalCost() + closureMST(sc.LastVM, req.Dests, destTrees)
-		if bestEdge == graph.NoEdge || c < bestCost {
-			bestEdge = a.Edge
-			bestCost = c
+		if sc, ok := aux.chains[a.Edge]; ok {
+			cands = append(cands, srcCand{edge: a.Edge, sc: sc})
 		}
 	}
-	if bestEdge == graph.NoEdge {
-		return nil
+	edges, _ := singleTreeEdges(g, oracle, cands, req, destTrees)
+	return edges
+}
+
+// singleTreeEdges ranks a source's candidates — in their Ĝ insertion
+// order, so the first strict minimum wins exactly as the adjacency scan
+// would pick it — and returns the winner's Ĝ tree edges (its KMB tree
+// over {lastVM} ∪ dests plus the virtual edge, last) together with the
+// winner itself. nil edges when there is no candidate or KMB fails. Both
+// the inline refinement and the eager runs funnel through here, which is
+// what makes their forests interchangeable.
+func singleTreeEdges(g *graph.Graph, oracle *chain.Oracle, cands []srcCand, req Request, destTrees map[graph.NodeID]*graph.ShortestPaths) ([]graph.EdgeID, srcCand) {
+	var winner srcCand
+	winner.edge = graph.NoEdge
+	bestCost := 0.0
+	for _, c := range cands {
+		r := c.sc.TotalCost() + closureMST(c.sc.LastVM, req.Dests, destTrees)
+		if winner.edge == graph.NoEdge || r < bestCost {
+			winner = c
+			bestCost = r
+		}
 	}
-	sc := aux.chains[bestEdge]
-	tree, err := steiner.KMBWith(g, append([]graph.NodeID{sc.LastVM}, req.Dests...),
+	if winner.edge == graph.NoEdge {
+		return nil, winner
+	}
+	tree, err := steiner.KMBWith(g, append([]graph.NodeID{winner.sc.LastVM}, req.Dests...),
 		&steiner.KMBOptions{Provider: oracle})
 	if err != nil {
-		return nil
+		return nil, winner
 	}
 	edges := append([]graph.EdgeID(nil), tree.Edges...)
-	return append(edges, bestEdge)
+	return append(edges, winner.edge), winner
 }
 
 // closureMST is the MST cost of the metric closure over {u} ∪ dests, using

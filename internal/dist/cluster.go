@@ -80,12 +80,23 @@ type Config struct {
 	// quietly keeps the batch exchange, so wrappers and fault-injection
 	// doubles stay usable.
 	Streaming bool
-	// DisablePruning keeps dominated candidates in the streamed exchange:
-	// every feasible candidate allocates aux-graph state, exactly like the
-	// batch path. The forest cost is the same either way (the prune rule
-	// is cost-safe by construction); the switch exists for the equivalence
-	// tests and for measuring the pruning effect in isolation.
+	// DisablePruning keeps dominated candidates: every feasible candidate
+	// allocates aux-graph state. It governs both join modes — the batch
+	// exchange feeds the leader through the same pruning builder the
+	// streamed exchange uses. The forest cost is the same either way (the
+	// prune rule is cost-safe by construction); the switch exists for the
+	// equivalence tests and for measuring the pruning effect in isolation.
 	DisablePruning bool
+	// EagerClosure overlaps the streamed exchange's Steiner phase with the
+	// gather: the moment every candidate of a source has spliced out of
+	// the reorder buffer, the leader starts that source's single-tree
+	// refinement (metric-closure ranking, KMB, forest assembly)
+	// concurrently with the still-streaming domains, so by Complete most
+	// closure passes are already done. The forest cost is bit-identical —
+	// the eager runs execute the same code the completion phase would, on
+	// per-source candidate sets that are provably final. No effect on the
+	// batch exchange (there is no stream to overlap).
+	EagerClosure bool
 }
 
 // Cluster is the leader of a multi-domain SDN deployment: it partitions
@@ -114,11 +125,12 @@ type Cluster struct {
 
 	// Streaming-exchange counters, cumulative across embeddings (see
 	// StreamStats).
-	streamFragments  atomic.Uint64
-	streamResults    atomic.Uint64
-	streamPruned     atomic.Uint64
-	streamEpochDrift atomic.Uint64
-	streamOverlapNS  atomic.Int64
+	streamFragments     atomic.Uint64
+	streamResults       atomic.Uint64
+	streamPruned        atomic.Uint64
+	streamEpochDrift    atomic.Uint64
+	streamOverlapNS     atomic.Int64
+	streamEarlyClosures atomic.Uint64
 
 	// mu is held read-side for the duration of every SOFDA call and
 	// write-side by Close, so Close cannot pull the transport out from
@@ -383,16 +395,32 @@ func (c *Cluster) SOFDA(ctx context.Context, req core.Request, opts Options) (*c
 			return nil, ctx.Err()
 		}
 	}
-	candidates := make([]*chain.ServiceChain, 0, len(pairs))
+	// Completion through the same pruning builder the streamed exchange
+	// uses: dominated candidates are rejected on arrival (unless
+	// DisablePruning) instead of allocating aux-graph state, and the
+	// forest cost is provably unchanged either way.
+	builder, err := core.NewAuxGraphBuilder(c.g, req, o)
+	if err != nil {
+		return nil, err
+	}
+	if !c.cfg.DisablePruning {
+		builder.EnablePruning()
+	}
+	feasible := 0
 	for _, r := range results {
-		if r.Err == nil && r.Chain != nil {
-			candidates = append(candidates, r.Chain)
+		if r.Err != nil || r.Chain == nil {
+			continue
+		}
+		feasible++
+		if _, err := builder.AddCandidate(r.Chain); err != nil {
+			return nil, err
 		}
 	}
-	if len(candidates) == 0 {
+	c.streamPruned.Add(uint64(builder.Pruned()))
+	if feasible == 0 {
 		return nil, fmt.Errorf("dist: no domain produced a feasible candidate chain")
 	}
-	return core.SOFDAFromCandidatesCtx(ctx, c.g, req, o, candidates)
+	return builder.Complete(ctx)
 }
 
 // Close shuts down the transport the cluster created (a Config-supplied

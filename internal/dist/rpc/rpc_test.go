@@ -60,44 +60,74 @@ func startDomains(t testing.TB, n int, build func(i int) *topology.Network) []st
 // Section VI carried over a real wire: on the 4-seed × 3-domain-count
 // matrix, SOFDA through net/rpc domain servers — each rebuilding the
 // network from the seed in its own right — costs exactly what the
-// centralized solver costs. Both exchanges run over the same servers:
-// the one-shot batch call and the server-streamed fragment join (with
-// dominated-candidate pruning armed), which must agree bit for bit.
+// centralized solver costs. Three exchanges run over the same servers:
+// the one-shot batch call, the server-streamed fragment join (with
+// dominated-candidate pruning armed), and the streamed join with eager
+// per-source closure — all of which must agree bit for bit. The whole
+// matrix additionally runs with the bucket-queue SSSP core forced on
+// (graph.BucketQueueMinNodes pinned to 1), the fourth toggle of the
+// equivalence claim: the calendar queue's settle order matches the
+// indexed heap's exactly, so no cost moves.
 func TestRPCEquivalenceMatrix(t *testing.T) {
-	for _, seed := range []int64{1, 7, 23, 42} {
-		network, req, opts := softLayerInstance(seed)
-		central, err := core.SOFDA(network.G, req, opts)
-		if err != nil {
-			t.Fatalf("seed %d: centralized: %v", seed, err)
+	savedMin := graph.BucketQueueMinNodes
+	t.Cleanup(func() { graph.BucketQueueMinNodes = savedMin })
+	centralBySeed := make(map[int64]float64)
+	for _, bucketSSSP := range []bool{false, true} {
+		if bucketSSSP {
+			graph.BucketQueueMinNodes = 1
+		} else {
+			graph.BucketQueueMinNodes = savedMin
 		}
-		for _, domains := range []int{1, 3, 5} {
-			addrs := startDomains(t, domains, func(int) *topology.Network { return buildSoftLayer(seed) })
-			tr := NewTransport(addrs)
-			for _, streaming := range []bool{false, true} {
-				cluster := dist.NewClusterWith(network.G, domains, dist.Config{
-					Transport: tr, RetryBudget: 1, Streaming: streaming,
-				})
-				f, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts})
-				if err != nil {
-					cluster.Close()
-					tr.Close()
-					t.Fatalf("seed %d domains %d streaming=%v: rpc distributed: %v", seed, domains, streaming, err)
-				}
-				if err := f.Validate(req.Sources, req.Dests); err != nil {
-					t.Errorf("seed %d domains %d streaming=%v: infeasible forest: %v", seed, domains, streaming, err)
-				}
-				if f.TotalCost() != central.TotalCost() {
-					t.Errorf("seed %d domains %d streaming=%v: rpc cost %v != centralized %v",
-						seed, domains, streaming, f.TotalCost(), central.TotalCost())
-				}
-				if streaming {
-					if st := cluster.StreamStats(); st.StreamedResults == 0 {
-						t.Errorf("seed %d domains %d: streamed run moved no fragments (%+v)", seed, domains, st)
-					}
-				}
-				cluster.Close()
+		for _, seed := range []int64{1, 7, 23, 42} {
+			network, req, opts := softLayerInstance(seed)
+			central, err := core.SOFDA(network.G, req, opts)
+			if err != nil {
+				t.Fatalf("seed %d: centralized: %v", seed, err)
 			}
-			tr.Close()
+			if prev, ok := centralBySeed[seed]; ok && prev != central.TotalCost() {
+				t.Errorf("seed %d: centralized cost moved across SSSP queues: heap %v, bucket %v",
+					seed, prev, central.TotalCost())
+			}
+			centralBySeed[seed] = central.TotalCost()
+			for _, domains := range []int{1, 3, 5} {
+				addrs := startDomains(t, domains, func(int) *topology.Network { return buildSoftLayer(seed) })
+				tr := NewTransport(addrs)
+				for _, mode := range []struct {
+					name string
+					cfg  dist.Config
+				}{
+					{"batch", dist.Config{}},
+					{"stream", dist.Config{Streaming: true}},
+					{"stream-eager", dist.Config{Streaming: true, EagerClosure: true}},
+				} {
+					cfg := mode.cfg
+					cfg.Transport = tr
+					cfg.RetryBudget = 1
+					cluster := dist.NewClusterWith(network.G, domains, cfg)
+					f, err := cluster.SOFDA(context.Background(), req, dist.Options{Core: opts})
+					if err != nil {
+						cluster.Close()
+						tr.Close()
+						t.Fatalf("seed %d domains %d %s bucketSSSP=%v: rpc distributed: %v", seed, domains, mode.name, bucketSSSP, err)
+					}
+					if err := f.Validate(req.Sources, req.Dests); err != nil {
+						t.Errorf("seed %d domains %d %s bucketSSSP=%v: infeasible forest: %v", seed, domains, mode.name, bucketSSSP, err)
+					}
+					if f.TotalCost() != central.TotalCost() {
+						t.Errorf("seed %d domains %d %s bucketSSSP=%v: rpc cost %v != centralized %v",
+							seed, domains, mode.name, bucketSSSP, f.TotalCost(), central.TotalCost())
+					}
+					st := cluster.StreamStats()
+					if mode.name != "batch" && st.StreamedResults == 0 {
+						t.Errorf("seed %d domains %d %s: streamed run moved no fragments (%+v)", seed, domains, mode.name, st)
+					}
+					if mode.name == "stream-eager" && st.EarlyClosures == 0 {
+						t.Errorf("seed %d domains %d: eager run closed nothing early (%+v)", seed, domains, st)
+					}
+					cluster.Close()
+				}
+				tr.Close()
+			}
 		}
 	}
 }

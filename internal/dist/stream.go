@@ -22,7 +22,8 @@ type StreamStats struct {
 	// (fallback-solved pairs are not streamed and not counted).
 	StreamedResults uint64
 	// PrunedCandidates counts feasible candidates rejected as dominated
-	// before allocating any aux-graph state.
+	// before allocating any aux-graph state, across both join modes (the
+	// batch exchange feeds the same pruning builder).
 	PrunedCandidates uint64
 	// EpochDrift counts fragments whose cost epoch differed from the
 	// request's. Drift alone is observability, not refusal — the digest
@@ -35,6 +36,15 @@ type StreamStats struct {
 	// solving. The batch exchange's equivalent is identically zero — the
 	// leader cannot start before the slowest domain returns.
 	OverlapNS int64
+	// EarlyClosures counts closure passes the eager mode (Config.
+	// EagerClosure) finished off the completion phase's critical path:
+	// warmed destination trees plus per-source refinements that completed
+	// before the refinement loop demanded them. Zero without eager mode.
+	// Each refinement's head-start — launch to demand, capped at its
+	// finish — is accumulated into OverlapNS; per-source lanes run
+	// concurrently, so the eager contribution can exceed wall time, like
+	// CPU-seconds.
+	EarlyClosures uint64
 }
 
 // StreamStats returns the streaming-exchange counters.
@@ -45,6 +55,7 @@ func (c *Cluster) StreamStats() StreamStats {
 		PrunedCandidates:  c.streamPruned.Load(),
 		EpochDrift:        c.streamEpochDrift.Load(),
 		OverlapNS:         c.streamOverlapNS.Load(),
+		EarlyClosures:     c.streamEarlyClosures.Load(),
 	}
 }
 
@@ -72,6 +83,25 @@ func (c *Cluster) sofdaStreaming(ctx context.Context, st StreamTransport, req co
 	}
 	if !c.cfg.DisablePruning {
 		builder.EnablePruning()
+	}
+	if c.cfg.EagerClosure {
+		builder.EnableEager()
+		// Per-source pair counts (with source multiplicity): a source's
+		// refinement may start the moment its last pair splices, because
+		// its candidate set is final then.
+		counts := make(map[graph.NodeID]int, len(req.Sources))
+		for _, p := range pairs {
+			counts[p.Source]++
+		}
+		for _, s := range req.Sources {
+			if _, ok := counts[s]; ok {
+				continue
+			}
+			counts[s] = 0
+		}
+		for s, n := range counts {
+			builder.ExpectCandidates(s, n)
+		}
 	}
 	dispatched := 0
 	for _, dp := range perDomain {
@@ -115,9 +145,14 @@ func (c *Cluster) sofdaStreaming(ctx context.Context, st StreamTransport, req co
 			results[ev.global] = ev.res
 			for cursor < len(pairs) && have[cursor] {
 				r := results[cursor]
+				src := pairs[cursor].Source
 				cursor++
 				if r.Err != "" || r.Chain == nil {
-					continue // per-pair infeasibility, skipped like the batch path
+					// Per-pair infeasibility, skipped like the batch path —
+					// but still a delivery for the source's completeness
+					// count: its candidate set shrinks, it does not stall.
+					builder.NoteDelivered(src)
+					continue
 				}
 				if firstFeed.IsZero() {
 					firstFeed = time.Now()
@@ -125,6 +160,7 @@ func (c *Cluster) sofdaStreaming(ctx context.Context, st StreamTransport, req co
 				if _, err := builder.AddCandidate(r.Chain); err != nil {
 					return nil, err
 				}
+				builder.NoteDelivered(src)
 			}
 		case <-ctx.Done():
 			return nil, ctx.Err()
@@ -143,7 +179,13 @@ func (c *Cluster) sofdaStreaming(ctx context.Context, st StreamTransport, req co
 	if builder.Added() == 0 {
 		return nil, fmt.Errorf("dist: no domain produced a feasible candidate chain")
 	}
-	return builder.Complete(ctx)
+	f, err := builder.Complete(ctx)
+	if c.cfg.EagerClosure {
+		closures, overlapNS := builder.EagerOverlap()
+		c.streamEarlyClosures.Add(uint64(closures))
+		c.streamOverlapNS.Add(overlapNS)
+	}
+	return f, err
 }
 
 // streamDomain moves one domain's request over the streaming transport

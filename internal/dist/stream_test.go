@@ -52,11 +52,12 @@ func TestStreamedMatchesBatchAndCentralized(t *testing.T) {
 
 // TestStreamedPruneOnOffIdenticalCost is the prune-safety property pinned
 // directly: across seeds and domain counts, prune-on and prune-off runs
-// (and the batch exchange) agree on the forest cost bit for bit, and the
-// prune-on run actually prunes on at least one instance — the rule is
-// doing work, not vacuously passing.
+// of BOTH join modes (the batch exchange routes through the same pruning
+// builder since the leader's join unification) agree on the forest cost
+// bit for bit, and pruning actually fires in each mode on at least one
+// instance — the rule is doing work, not vacuously passing.
 func TestStreamedPruneOnOffIdenticalCost(t *testing.T) {
-	totalPruned := uint64(0)
+	prunedByMode := make(map[string]uint64)
 	for _, seed := range []int64{1, 7, 23, 42} {
 		net, req, opts := softLayerInstance(seed)
 		for _, domains := range []int{1, 3, 5} {
@@ -66,6 +67,7 @@ func TestStreamedPruneOnOffIdenticalCost(t *testing.T) {
 				cfg  Config
 			}{
 				{"batch", Config{}},
+				{"batch-noprune", Config{DisablePruning: true}},
 				{"stream-prune", Config{Streaming: true}},
 				{"stream-noprune", Config{Streaming: true, DisablePruning: true}},
 			} {
@@ -76,18 +78,27 @@ func TestStreamedPruneOnOffIdenticalCost(t *testing.T) {
 					t.Fatalf("seed %d domains %d %s: %v", seed, domains, mode.name, err)
 				}
 				costs[mode.name] = f.TotalCost()
-				if mode.name == "stream-prune" {
-					totalPruned += cluster.StreamStats().PrunedCandidates
-				}
+				prunedByMode[mode.name] += cluster.StreamStats().PrunedCandidates
 				cluster.Close()
 			}
-			if costs["stream-prune"] != costs["stream-noprune"] || costs["stream-prune"] != costs["batch"] {
-				t.Errorf("seed %d domains %d: cost diverged: %v", seed, domains, costs)
+			base := costs["batch"]
+			for name, c := range costs {
+				if c != base {
+					t.Errorf("seed %d domains %d: %s cost diverged: %v", seed, domains, name, costs)
+					break
+				}
 			}
 		}
 	}
-	if totalPruned == 0 {
-		t.Error("pruning never fired across the whole matrix; the property test is vacuous")
+	for _, mode := range []string{"batch", "stream-prune"} {
+		if prunedByMode[mode] == 0 {
+			t.Errorf("%s pruning never fired across the whole matrix; the property test is vacuous for it", mode)
+		}
+	}
+	for _, mode := range []string{"batch-noprune", "stream-noprune"} {
+		if prunedByMode[mode] != 0 {
+			t.Errorf("%s reported %d pruned candidates with pruning disabled", mode, prunedByMode[mode])
+		}
 	}
 }
 

@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -278,6 +280,45 @@ func (d *Domain) AnswerStream(ctx context.Context, req *CandidateRequest, emit f
 		par = n
 	}
 
+	// Cheapest-first scheduling: the batch's full tree demand (every pair
+	// source plus every candidate VM) is known up front, so warm it in one
+	// batched pass — miss-neutral, see chain.Oracle.WarmTrees — and order
+	// the solves within each source block by the chain-cost lower bound
+	// dist(source, lastVM). Cheap chains then tend to finish (and stream)
+	// first, tightening the leader's prune bound sooner. Source blocks keep
+	// their request order so the leader's in-order reorder-buffer prefix
+	// still fills front to back; and since the leader splices by index, the
+	// solve order changes wall-clock shape only, never any result.
+	origins := make([]graph.NodeID, 0, len(req.Pairs)+len(req.VMs))
+	firstAt := make(map[graph.NodeID]int, len(req.Pairs))
+	for i, p := range req.Pairs {
+		if _, ok := firstAt[p.Source]; !ok {
+			firstAt[p.Source] = i
+			origins = append(origins, p.Source)
+		}
+	}
+	origins = append(origins, req.VMs...)
+	d.oracle.WarmTrees(ctx, origins)
+	lb := make([]float64, n)
+	for i, p := range req.Pairs {
+		lb[i] = d.oracle.Tree(p.Source).Dist[p.LastVM]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := order[a], order[b]
+		sa, sb := firstAt[req.Pairs[ia].Source], firstAt[req.Pairs[ib].Source]
+		if sa != sb {
+			return sa < sb
+		}
+		if lb[ia] != lb[ib] {
+			return lb[ia] < lb[ib]
+		}
+		return ia < ib
+	})
+
 	// completed is buffered to the pair count so workers never block on it:
 	// the emitter can bail out on a dead stream and the pool still drains.
 	completed := make(chan FragmentResult, n)
@@ -313,7 +354,7 @@ func (d *Domain) AnswerStream(ctx context.Context, req *CandidateRequest, emit f
 	go func() {
 		defer wg.Done()
 		defer close(jobs)
-		for i := 0; i < n; i++ {
+		for _, i := range order {
 			select {
 			case jobs <- i:
 			case <-sctx.Done():
@@ -346,6 +387,26 @@ func (d *Domain) AnswerStream(ctx context.Context, req *CandidateRequest, emit f
 				break coalesce
 			}
 		}
+		// Cheapest-first emission within the fragment: feasible results
+		// ascending by chain cost, infeasible last, ties by index. The
+		// leader splices by index, so this is presentation order for
+		// consumers that act on fragments as they arrive — combined with
+		// the lower-bound solve order it makes "cheap chains early" hold
+		// fragment by fragment, not just stream-wide.
+		sort.SliceStable(frag.Results, func(a, b int) bool {
+			ra, rb := &frag.Results[a], &frag.Results[b]
+			ca, cb := math.Inf(1), math.Inf(1)
+			if ra.Result.Chain != nil {
+				ca = ra.Result.Chain.TotalCost()
+			}
+			if rb.Result.Chain != nil {
+				cb = rb.Result.Chain.TotalCost()
+			}
+			if ca != cb {
+				return ca < cb
+			}
+			return ra.Index < rb.Index
+		})
 		frag.Seq = seq
 		if err := emit(stamp(&frag)); err != nil {
 			return err

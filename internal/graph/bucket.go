@@ -1,0 +1,152 @@
+package graph
+
+// bucketQueue is a Dial-style calendar priority queue for Dijkstra over
+// large graphs: items hash into circular buckets by key, and a pop scans
+// only the current bucket for the exact minimum. It relies on Dijkstra's
+// monotonicity — every inserted or decreased key is >= the last popped key
+// — and on bounded key spread: all queued keys lie within [lastPopped,
+// lastPopped + maxSpan], where maxSpan is the graph's maximum edge cost.
+// With the bucket width chosen so that maxSpan covers at most nb-2
+// buckets, the active window never wraps onto itself, so scanning
+// circularly from the last popped bucket always finds the global minimum
+// bucket first.
+//
+// Pop selects the minimum by (key, id) — the IndexedHeap's exact
+// comparison — so a Dijkstra run driven by this queue settles nodes in the
+// bit-identical order the heap produces, ties included. That equivalence
+// is what lets the SSSP core switch queues by graph size without
+// perturbing any downstream tree (see dijkstra.go).
+//
+// Like the IndexedHeap, the structure self-restores on drain: a run that
+// pops everything it pushed leaves bidx entirely at -1, so a pooled queue
+// is ready for the next run (possibly on a different graph and bucket
+// width) without an O(n) reset.
+type bucketQueue struct {
+	// inv is 1/bucketWidth; bucket(k) = floor(k*inv) mod nb.
+	inv     float64
+	nb      int
+	buckets [][]int32
+	// bidx[v] is the bucket holding v, -1 when v is not queued.
+	bidx []int32
+	// slot[v] is v's index within buckets[bidx[v]].
+	slot []int32
+	// key[v] is v's current priority; meaningful only while queued.
+	key   []float64
+	count int
+	// cur is the bucket of the last popped key; the next pop scans
+	// circularly from it.
+	cur int
+}
+
+// bucketCount is the fixed calendar size. 1024 buckets keep the per-pop
+// scan short (the frontier spreads over the active window) while the
+// bucket array stays small enough to live in a pooled arena.
+const bucketCount = 1024
+
+// configure sizes the queue for one run: ids in [0,n), keys spreading at
+// most maxSpan apart. maxSpan must be positive and finite — callers fall
+// back to the heap otherwise (an all-zero-cost graph has no usable bucket
+// width).
+func (q *bucketQueue) configure(n int, maxSpan float64) {
+	if q.buckets == nil {
+		q.buckets = make([][]int32, bucketCount)
+		q.nb = bucketCount
+	}
+	// Width such that the active window [min, min+maxSpan] spans at most
+	// nb-2 buckets: floor(k*inv) advances by at most maxSpan*inv+1 = nb-1
+	// across the window, strictly less than one full lap.
+	q.inv = float64(q.nb-2) / maxSpan
+	q.grow(n)
+}
+
+// grow extends the addressable id range to at least n, preserving queued
+// content. It never shrinks.
+func (q *bucketQueue) grow(n int) {
+	if n <= len(q.bidx) {
+		return
+	}
+	old := len(q.bidx)
+	bidx := make([]int32, n)
+	copy(bidx, q.bidx)
+	for i := old; i < n; i++ {
+		bidx[i] = -1
+	}
+	q.bidx = bidx
+	slot := make([]int32, n)
+	copy(slot, q.slot)
+	q.slot = slot
+	key := make([]float64, n)
+	copy(key, q.key)
+	q.key = key
+}
+
+func (q *bucketQueue) len() int { return q.count }
+
+func (q *bucketQueue) bucketOf(k float64) int {
+	return int(int64(k*q.inv) % int64(q.nb))
+}
+
+// seed inserts the run's first item and anchors the scan cursor at its
+// bucket. Only seed moves the cursor backward: if the queue transiently
+// drains mid-run, the cursor stays at the last popped key's bucket, which
+// still lower-bounds every later insert — re-anchoring to an arbitrary
+// insert would strand smaller equal-key items (zero-cost edge chains)
+// behind the cursor.
+func (q *bucketQueue) seed(v int32, k float64) {
+	q.cur = q.bucketOf(k)
+	q.update(v, k)
+}
+
+// update inserts v with priority k, or moves it if already queued. Like
+// the heap's Update it accepts any new key, but Dijkstra only ever
+// decreases keys, which keeps the monotone window invariant.
+func (q *bucketQueue) update(v int32, k float64) {
+	idx := q.bucketOf(k)
+	if b := q.bidx[v]; b >= 0 {
+		q.key[v] = k
+		if int(b) == idx {
+			return
+		}
+		// Swap-delete from the old bucket, fixing the moved item's slot.
+		old := q.buckets[b]
+		s := q.slot[v]
+		last := int32(len(old) - 1)
+		old[s] = old[last]
+		q.slot[old[s]] = s
+		q.buckets[b] = old[:last]
+		q.count--
+	} else {
+		q.key[v] = k
+	}
+	q.bidx[v] = int32(idx)
+	q.slot[v] = int32(len(q.buckets[idx]))
+	q.buckets[idx] = append(q.buckets[idx], v)
+	q.count++
+}
+
+// pop removes and returns the item minimal by (key, id). It must not be
+// called on an empty queue.
+func (q *bucketQueue) pop() (int32, float64) {
+	for len(q.buckets[q.cur]) == 0 {
+		q.cur++
+		if q.cur == q.nb {
+			q.cur = 0
+		}
+	}
+	b := q.buckets[q.cur]
+	best, bi := b[0], 0
+	bk := q.key[best]
+	for i := 1; i < len(b); i++ {
+		v := b[i]
+		if kv := q.key[v]; kv < bk || (kv == bk && v < best) {
+			best, bi, bk = v, i, kv
+		}
+	}
+	last := len(b) - 1
+	b[bi] = b[last]
+	q.slot[b[bi]] = int32(bi)
+	q.buckets[q.cur] = b[:last]
+	q.bidx[best] = -1
+	q.count--
+	return best, bk
+}

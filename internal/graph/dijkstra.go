@@ -57,33 +57,68 @@ func (sp *ShortestPaths) EdgesTo(t NodeID) []EdgeID {
 	return rev
 }
 
-// spScratch is the reusable per-run Dijkstra state: the indexed heap
-// (whose position index self-restores on drain) and a generation-stamped
-// settled marker, so a pooled scratch is ready for the next run without
-// any O(n) reset. The result arrays are NOT pooled — callers (the chain
+// Arena is the reusable scratch state of the SSSP core: the indexed heap
+// (whose position index self-restores on drain), the bucket queue for
+// large graphs, and a generation-stamped settled marker, so one arena is
+// ready for the next run without any O(n) reset. Batch callers that fan
+// many runs out (the chain oracle's tree warming, KMB's closure phase)
+// hold one Arena across the whole batch instead of a pool round-trip per
+// source. The result arrays are NOT part of the arena — callers (the chain
 // oracle in particular) retain ShortestPaths indefinitely.
-type spScratch struct {
+//
+// An Arena is not safe for concurrent use; concurrent runs take separate
+// arenas (or pass nil and share the pool).
+type Arena struct {
 	h    IndexedHeap
+	bq   bucketQueue
 	done []uint64
 	gen  uint64
 }
 
-var spPool = sync.Pool{New: func() any { return new(spScratch) }}
+// NewArena returns an empty arena. Passing nil to DijkstraBatch borrows
+// one from an internal pool instead, so an explicit arena is only worth
+// holding across several batches.
+func NewArena() *Arena { return new(Arena) }
 
-func (s *spScratch) ensure(n int) {
-	s.h.Grow(n)
-	if len(s.done) < n {
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+func (a *Arena) ensure(n int) {
+	a.h.Grow(n)
+	if len(a.done) < n {
 		done := make([]uint64, n)
-		copy(done, s.done)
-		s.done = done
+		copy(done, a.done)
+		a.done = done
 	}
+}
+
+// BucketQueueMinNodes gates the bucket-queue SSSP variant by graph size:
+// runs over graphs with at least this many nodes use the calendar queue
+// (when the maximum edge cost admits one), smaller runs keep the indexed
+// heap, whose constants win on small frontiers. The two queues pop in the
+// bit-identical (key, id) order, so the threshold tunes speed only — the
+// computed trees cannot differ. Variable, not const, so tests pin the
+// bucket path on small graphs.
+var BucketQueueMinNodes = 8192
+
+// useBucketQueue decides the queue for runs over g: the calendar queue
+// needs a positive finite maximum edge cost for its bucket width (an
+// all-zero-cost graph has no usable width and falls back to the heap).
+func useBucketQueue(g *Graph, n int) (float64, bool) {
+	if n < BucketQueueMinNodes {
+		return 0, false
+	}
+	maxC := g.maxEdgeCost()
+	if maxC <= 0 || math.IsInf(maxC, 1) {
+		return 0, false
+	}
+	return maxC, true
 }
 
 // Dijkstra computes shortest paths from src over edge connection costs.
 // The traversal runs on the graph's flat CSR adjacency with a pooled
-// indexed heap, so a run allocates only its result arrays. Ties are
-// settled toward the smaller node id, making the returned tree (not just
-// the distances) deterministic.
+// arena, so a run allocates only its result arrays. Ties are settled
+// toward the smaller node id, making the returned tree (not just the
+// distances) deterministic — with either queue (see BucketQueueMinNodes).
 func Dijkstra(g *Graph, src NodeID) *ShortestPaths {
 	n := g.NumNodes()
 	sp := &ShortestPaths{
@@ -92,20 +127,86 @@ func Dijkstra(g *Graph, src NodeID) *ShortestPaths {
 		Parent:     make([]NodeID, n),
 		ParentEdge: make([]EdgeID, n),
 	}
+	c := g.csr()
+	a := arenaPool.Get().(*Arena)
+	a.ensure(n)
+	if maxC, ok := useBucketQueue(g, n); ok {
+		a.bq.configure(n, maxC)
+		dijkstraBucket(g, c, a, sp)
+	} else {
+		dijkstraHeap(g, c, a, sp)
+	}
+	arenaPool.Put(a)
+	return sp
+}
+
+// DijkstraBatch runs Dijkstra from every source through one shared arena
+// and one CSR fetch, with the per-source result arrays carved from three
+// batch-wide backing allocations — a batch of k sources costs 4 slice
+// allocations instead of 4k. Results are returned in source order;
+// duplicate sources share one tree (the same *ShortestPaths pointer). A
+// nil arena borrows one from the internal pool for the whole batch.
+func DijkstraBatch(g *Graph, sources []NodeID, a *Arena) []*ShortestPaths {
+	if len(sources) == 0 {
+		return nil
+	}
+	if a == nil {
+		a = arenaPool.Get().(*Arena)
+		defer arenaPool.Put(a)
+	}
+	n := g.NumNodes()
+	c := g.csr()
+	a.ensure(n)
+	maxC, bucket := useBucketQueue(g, n)
+	if bucket {
+		a.bq.configure(n, maxC)
+	}
+
+	out := make([]*ShortestPaths, len(sources))
+	firstIdx := make(map[NodeID]int, len(sources))
+	uniq := make([]NodeID, 0, len(sources))
+	for _, s := range sources {
+		if _, ok := firstIdx[s]; !ok {
+			firstIdx[s] = len(uniq)
+			uniq = append(uniq, s)
+		}
+	}
+	k := len(uniq)
+	sps := make([]ShortestPaths, k)
+	dist := make([]float64, k*n)
+	parent := make([]NodeID, k*n)
+	pedge := make([]EdgeID, k*n)
+	for i, s := range uniq {
+		sp := &sps[i]
+		sp.Source = s
+		sp.Dist = dist[i*n : (i+1)*n : (i+1)*n]
+		sp.Parent = parent[i*n : (i+1)*n : (i+1)*n]
+		sp.ParentEdge = pedge[i*n : (i+1)*n : (i+1)*n]
+		if bucket {
+			dijkstraBucket(g, c, a, sp)
+		} else {
+			dijkstraHeap(g, c, a, sp)
+		}
+	}
+	for i, s := range sources {
+		out[i] = &sps[firstIdx[s]]
+	}
+	return out
+}
+
+// dijkstraHeap is the indexed-heap SSSP core: it fills sp (whose Source
+// and result arrays the caller prepared) in place.
+func dijkstraHeap(g *Graph, c *csrLayout, a *Arena, sp *ShortestPaths) {
 	for i := range sp.Dist {
 		sp.Dist[i] = math.Inf(1)
 		sp.Parent[i] = None
 		sp.ParentEdge[i] = NoEdge
 	}
-	sp.Dist[src] = 0
-
-	c := g.csr()
-	s := spPool.Get().(*spScratch)
-	s.ensure(n)
-	s.gen++
-	gen, done := s.gen, s.done
-	h := &s.h
-	h.Update(int32(src), 0)
+	sp.Dist[sp.Source] = 0
+	a.gen++
+	gen, done := a.gen, a.done
+	h := &a.h
+	h.Update(int32(sp.Source), 0)
 	for h.Len() > 0 {
 		u, du := h.Pop()
 		done[u] = gen
@@ -123,23 +224,49 @@ func Dijkstra(g *Graph, src NodeID) *ShortestPaths {
 			}
 		}
 	}
-	spPool.Put(s)
-	return sp
 }
 
-// DijkstraAll runs Dijkstra from every node in sources and returns the trees
-// keyed by source. The embedding hot paths now pull their trees from the
-// chain oracle's epoch-keyed cache instead; this uncached form remains for
-// one-shot callers and as the plain reference in tests.
-func DijkstraAll(g *Graph, sources []NodeID) map[NodeID]*ShortestPaths {
-	out := make(map[NodeID]*ShortestPaths, len(sources))
-	for _, s := range sources {
-		if _, ok := out[s]; ok {
-			continue
-		}
-		out[s] = Dijkstra(g, s)
+// dijkstraBucket is dijkstraHeap with the calendar queue: the identical
+// relaxation loop over a queue that pops in the identical (key, id)
+// order, so its trees are bit-for-bit those of the heap variant. The
+// caller has already configured a.bq for this graph's width.
+func dijkstraBucket(g *Graph, c *csrLayout, a *Arena, sp *ShortestPaths) {
+	for i := range sp.Dist {
+		sp.Dist[i] = math.Inf(1)
+		sp.Parent[i] = None
+		sp.ParentEdge[i] = NoEdge
 	}
-	return out
+	sp.Dist[sp.Source] = 0
+	a.gen++
+	gen, done := a.gen, a.done
+	q := &a.bq
+	q.seed(int32(sp.Source), 0)
+	for q.len() > 0 {
+		u, du := q.pop()
+		done[u] = gen
+		for i := c.row[u]; i < c.row[u+1]; i++ {
+			v := c.to[i]
+			if done[v] == gen {
+				continue
+			}
+			nd := du + g.edges[c.eid[i]].Cost
+			if nd < sp.Dist[v] {
+				sp.Dist[v] = nd
+				sp.Parent[v] = NodeID(u)
+				sp.ParentEdge[v] = EdgeID(c.eid[i])
+				q.update(v, nd)
+			}
+		}
+	}
+}
+
+// DijkstraAll runs Dijkstra from every node in sources and returns the
+// trees in source order, computed through one batched arena pass;
+// duplicate sources share one tree. The embedding hot paths pull their
+// trees from the chain oracle's epoch-keyed cache instead; this uncached
+// form remains for one-shot callers and as the plain reference in tests.
+func DijkstraAll(g *Graph, sources []NodeID) []*ShortestPaths {
+	return DijkstraBatch(g, sources, nil)
 }
 
 // BellmanFord computes single-source shortest paths by relaxation. It exists

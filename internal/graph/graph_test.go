@@ -189,11 +189,21 @@ func TestDijkstraMatchesBellmanFord(t *testing.T) {
 	}
 }
 
-func TestDijkstraAllDedups(t *testing.T) {
+func TestDijkstraAllSourceOrderAndDedup(t *testing.T) {
 	g := buildDiamond(t)
 	trees := DijkstraAll(g, []NodeID{0, 0, 2})
-	if len(trees) != 2 {
-		t.Fatalf("got %d trees, want 2", len(trees))
+	if len(trees) != 3 {
+		t.Fatalf("got %d trees, want 3 (source order)", len(trees))
+	}
+	if trees[0].Source != 0 || trees[1].Source != 0 || trees[2].Source != 2 {
+		t.Fatalf("trees out of source order: %d, %d, %d",
+			trees[0].Source, trees[1].Source, trees[2].Source)
+	}
+	if trees[0] != trees[1] {
+		t.Fatal("duplicate sources should share one tree")
+	}
+	if trees[0] == trees[2] {
+		t.Fatal("distinct sources aliased")
 	}
 }
 

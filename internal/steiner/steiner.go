@@ -171,10 +171,10 @@ func KMBWith(g *graph.Graph, terminals []graph.NodeID, opts *KMBOptions) (*Tree,
 }
 
 // closureTrees resolves the shortest-path tree of every terminal, through
-// the provider when one is injected (hitting its cache) and by direct
-// Dijkstra otherwise, fanning the per-terminal passes out over the
-// configured parallelism. Results are positionally aligned with terminals,
-// so concurrency cannot change anything downstream.
+// the provider when one is injected (hitting its cache) and by batched
+// Dijkstra otherwise, fanning the passes out over the configured
+// parallelism. Results are positionally aligned with terminals, so
+// concurrency cannot change anything downstream.
 func closureTrees(g *graph.Graph, terminals []graph.NodeID, opts *KMBOptions) []*graph.ShortestPaths {
 	trees := make([]*graph.ShortestPaths, len(terminals))
 	var provider PathProvider
@@ -185,16 +185,35 @@ func closureTrees(g *graph.Graph, terminals []graph.NodeID, opts *KMBOptions) []
 			par = opts.Parallelism
 		}
 	}
-	fetch := func(i int) {
-		if provider != nil {
-			trees[i] = provider.Tree(terminals[i])
-		} else {
-			trees[i] = graph.Dijkstra(g, terminals[i])
-		}
-	}
 	if par > len(terminals) {
 		par = len(terminals)
 	}
+	if provider == nil {
+		// Uncached path: one DijkstraBatch per worker over a contiguous
+		// chunk of terminals, each batch sharing a pooled arena and CSR
+		// pass, so a t-terminal closure costs O(par) scratch setups
+		// instead of t.
+		if par <= 1 {
+			copy(trees, graph.DijkstraBatch(g, terminals, nil))
+			return trees
+		}
+		var wg sync.WaitGroup
+		chunk := (len(terminals) + par - 1) / par
+		for lo := 0; lo < len(terminals); lo += chunk {
+			hi := lo + chunk
+			if hi > len(terminals) {
+				hi = len(terminals)
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				copy(trees[lo:hi], graph.DijkstraBatch(g, terminals[lo:hi], nil))
+			}(lo, hi)
+		}
+		wg.Wait()
+		return trees
+	}
+	fetch := func(i int) { trees[i] = provider.Tree(terminals[i]) }
 	if par <= 1 {
 		for i := range terminals {
 			fetch(i)
