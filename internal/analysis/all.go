@@ -1,0 +1,12 @@
+package analysis
+
+// All returns sofvet's full analyzer suite in deterministic order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		AtomicField,
+		CtxFlow,
+		DetOrder,
+		EpochSafe,
+		PoolBalance,
+	}
+}

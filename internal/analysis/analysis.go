@@ -1,0 +1,147 @@
+// Package analysis is sofvet's static-analysis kernel: a small,
+// dependency-free reimplementation of the golang.org/x/tools go/analysis
+// surface (Analyzer, Pass, Diagnostic) plus a package loader and a pragma-
+// aware driver, built only on the standard library's go/ast, go/types and
+// the go command.
+//
+// Why not x/tools: this module is deliberately dependency-free, and the
+// container builds offline. The subset implemented here is exactly what the
+// five sofvet passes need: per-package syntax + full type information, a
+// Report sink, and deterministic diagnostic ordering. Analyzer facts,
+// SSA, and result passing between analyzers are out of scope.
+//
+// The invariants the passes enforce exist to protect the repository's
+// central correctness claim: SOFDA's 3ρ-approximation argument (Kuo et al.,
+// ICDCS 2017) and the PR 5 dominated-candidate prune rule are proven
+// against *bit-identical* forest costs, which in turn require deterministic
+// tie-breaking (detorder), strict cost-epoch hygiene (epochsafe), honest
+// cancellation (ctxflow), panic-safe arena recycling (poolbalance) and
+// race-free counters (atomicfield).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one invariant checker. It mirrors
+// golang.org/x/tools/go/analysis.Analyzer closely enough that a future
+// migration to the real framework is mechanical.
+type Analyzer struct {
+	// Name is the pass name used in diagnostics and //sofvet:ignore
+	// pragmas. Lower-case, no spaces.
+	Name string
+	// Doc is a one-paragraph description: what the pass enforces and why.
+	Doc string
+	// Run analyzes one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and types to an Analyzer.Run.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds the package's parsed non-test Go files, in file-name
+	// order. Test files are excluded on purpose: the invariants guard
+	// production code paths, and tests legitimately break several of them
+	// (plain reads of counters, Background contexts, ad-hoc ordering).
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// objectOf resolves an identifier to its object via Uses then Defs.
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// pkgPathOf returns the import path of an object's package, "" for
+// builtins and package-less objects.
+func pkgPathOf(o types.Object) string {
+	if o == nil || o.Pkg() == nil {
+		return ""
+	}
+	return o.Pkg().Path()
+}
+
+// isPkgFunc reports whether call is a call of the package-level function
+// pkgPath.name (e.g. context.Background).
+func isPkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := objectOf(info, sel.Sel)
+	f, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	return f.Name() == name && pkgPathOf(f) == pkgPath
+}
+
+// namedOrPointee unwraps pointers and aliases down to a *types.Named, or
+// nil when t is not (a pointer to) a named type.
+func namedOrPointee(t types.Type) *types.Named {
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isNamedType reports whether t is (a pointer to) the named type
+// pkgPath.name.
+func isNamedType(t types.Type, pkgPath, name string) bool {
+	n := namedOrPointee(t)
+	if n == nil {
+		return false
+	}
+	o := n.Obj()
+	return o.Name() == name && pkgPathOf(o) == pkgPath
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return t != nil && types.TypeString(t, nil) == "context.Context"
+}
+
+// firstParamIsContext reports whether sig's first parameter is a
+// context.Context.
+func firstParamIsContext(sig *types.Signature) bool {
+	if sig == nil || sig.Params().Len() == 0 {
+		return false
+	}
+	return isContextType(sig.Params().At(0).Type())
+}
+
+// hasContextParam reports whether any parameter of sig (including
+// variadic) is a context.Context.
+func hasContextParam(sig *types.Signature) bool {
+	if sig == nil {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}

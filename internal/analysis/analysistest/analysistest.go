@@ -1,0 +1,176 @@
+// Package analysistest runs sofvet analyzers over fixture packages and
+// checks their diagnostics against `// want "regexp"` expectations — a
+// stdlib-only re-creation of golang.org/x/tools' package of the same name
+// (which this module deliberately does not depend on).
+//
+// Fixture packages live under testdata/src/<importpath> next to the test,
+// following the upstream convention, so the go tool never builds them and
+// their deliberate violations cannot leak into the real tree. A line that
+// should be flagged carries a trailing comment of the form
+//
+//	code() // want "first diagnostic regexp" "second regexp"
+//
+// Each diagnostic reported on that line must match one unconsumed want
+// pattern, each pattern must be matched exactly once, and diagnostics on
+// lines with no want comment are failures — so fixtures pin both the
+// positive and the negative behavior of a pass.
+package analysistest
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sof/internal/analysis"
+)
+
+// moduleRoot locates the enclosing module's root directory (the fixture
+// loader needs it to harvest export data for real packages fixtures import).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("analysistest: go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" || gomod == "NUL" {
+		t.Fatalf("analysistest: not inside a module (GOMOD=%q)", gomod)
+	}
+	return filepath.Dir(gomod)
+}
+
+// NewLoader builds a fixture-aware loader rooted at testdata/src under dir
+// (usually analysis' own package directory).
+func NewLoader(t *testing.T, dir string) *analysis.Loader {
+	t.Helper()
+	l, err := analysis.NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	l.FixtureRoot = filepath.Join(dir, "testdata", "src")
+	return l
+}
+
+// Run loads the fixture package at testdata/src/<path>, runs one analyzer
+// over it raw (no //sofvet:ignore suppression — that is the driver's job,
+// tested separately), and checks the diagnostics against the fixture's
+// want comments.
+func Run(t *testing.T, loader *analysis.Loader, a *analysis.Analyzer, path string) {
+	t.Helper()
+	pkg, err := loader.LoadFixture(path)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	var got []analysis.Finding
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      loader.Fset,
+		Files:     pkg.Files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.Info,
+		Report: func(d analysis.Diagnostic) {
+			got = append(got, analysis.Finding{
+				Analyzer: a.Name,
+				Pos:      loader.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		},
+	}
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("analysistest: analyzer %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, loader, pkg)
+	for _, f := range got {
+		key := lineKey{file: f.Pos.Filename, line: f.Pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", a.Name, f)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: %s:%d: no diagnostic matched want %q", a.Name, key.file, key.line, w.re)
+			}
+		}
+	}
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE pulls the quoted patterns out of a want comment. Patterns are
+// Go-quoted-ish: double-quoted with no embedded escapes needed for our
+// fixtures (keep them simple).
+var wantRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+func collectWants(t *testing.T, loader *analysis.Loader, pkg *analysis.Package) map[lineKey][]*want {
+	t.Helper()
+	wants := make(map[lineKey][]*want)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				idx := strings.Index(text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := loader.Fset.Position(c.Pos())
+				key := lineKey{file: pos.Filename, line: pos.Line}
+				ms := wantRE.FindAllStringSubmatch(text[idx+len("// want "):], -1)
+				if len(ms) == 0 {
+					t.Fatalf("analysistest: %s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+				}
+				for _, m := range ms {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("analysistest: %s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, m[1], err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// Findings is a convenience for driver-level tests: it loads a fixture and
+// runs the full suppression-aware driver over it, returning finding strings
+// of the form "file:line:col: [pass] message" with the testdata path prefix
+// trimmed for stable comparison.
+func Findings(t *testing.T, loader *analysis.Loader, analyzers []*analysis.Analyzer, path string) []string {
+	t.Helper()
+	pkg, err := loader.LoadFixture(path)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	fs := analysis.RunAnalyzers(loader.Fset, []*analysis.Package{pkg}, analyzers)
+	out := make([]string, 0, len(fs))
+	for _, f := range fs {
+		s := f.String()
+		if rel, err := filepath.Rel(loader.FixtureRoot, f.Pos.Filename); err == nil {
+			s = fmt.Sprintf("%s:%d:%d: [%s] %s", filepath.ToSlash(rel), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		}
+		out = append(out, s)
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AtomicField flags struct fields that are accessed through sync/atomic
+// functions somewhere and read or written plainly somewhere else in the
+// same package.
+//
+// A field like a hit counter that is atomic.AddUint64'd on the hot path
+// and `s.hits` elsewhere is a data race the moment two goroutines touch
+// it — exactly the bug class -race catches only when a test happens to
+// interleave. The repository's counters (the chain oracle's hit/miss
+// pair, dist's StreamStats) migrated to typed atomics (atomic.Uint64),
+// which are safe by construction; this pass keeps any future
+// function-style atomic from regressing into mixed access. The analysis
+// is per package, which covers every unexported field; struct-literal
+// keys are exempt (initialization before publication).
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "a field accessed via sync/atomic must never be read or written plainly",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Sweep 1: fields whose address feeds a sync/atomic call, and the
+	// exact selector nodes already inside such calls.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic site
+	inAtomic := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := objectOf(info, sel.Sel).(*types.Func)
+			if !ok || pkgPathOf(fn) != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				fsel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(info, fsel); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call.Pos()
+					}
+					inAtomic[fsel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Sweep 2: every other selector resolving to one of those fields is a
+	// plain (racy) access.
+	type plain struct {
+		pos token.Pos
+		fld *types.Var
+	}
+	var plains []plain
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			fsel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomic[fsel] {
+				return true
+			}
+			fld := fieldOf(info, fsel)
+			if fld == nil {
+				return true
+			}
+			if _, isAtomic := atomicFields[fld]; isAtomic {
+				plains = append(plains, plain{pos: fsel.Pos(), fld: fld})
+			}
+			return true
+		})
+	}
+	sort.Slice(plains, func(i, j int) bool { return plains[i].pos < plains[j].pos })
+	for _, p := range plains {
+		pass.Reportf(p.pos,
+			"field %s is accessed with sync/atomic at %s but plainly here: this races; use sync/atomic (or a typed atomic) everywhere",
+			p.fld.Name(), pass.Fset.Position(atomicFields[p.fld]))
+	}
+	return nil
+}
+
+// fieldOf resolves sel to a struct field object, nil otherwise.
+func fieldOf(info *types.Info, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v
+		}
+		return nil
+	}
+	if v, ok := objectOf(info, sel.Sel).(*types.Var); ok && v.IsField() {
+		return v
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// PragmaPrefix marks an in-source suppression. The full form is
+//
+//	//sofvet:ignore <pass> <reason...>
+//
+// placed either at the end of the offending line or on its own line
+// directly above it. One pragma suppresses exactly one diagnostic of the
+// named pass; a second diagnostic on the same line needs a second pragma.
+// Malformed pragmas (missing pass or reason), pragmas naming a pass the
+// driver is not running, and pragmas that suppress nothing are themselves
+// findings — every suppression in the tree stays greppable, justified,
+// and alive.
+const PragmaPrefix = "//sofvet:ignore"
+
+// DriverName is the analyzer name under which the driver reports pragma
+// hygiene findings. Driver findings cannot be suppressed by pragmas.
+const DriverName = "sofvet"
+
+// Finding is one post-suppression diagnostic, positioned and attributed.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// pragma is one parsed //sofvet:ignore comment.
+type pragma struct {
+	pos    token.Position // of the comment itself
+	pass   string
+	reason string
+	used   bool
+}
+
+// RunAnalyzers runs every analyzer over every package, applies
+// //sofvet:ignore suppressions, and returns the surviving findings plus
+// any pragma-hygiene findings, sorted by position.
+func RunAnalyzers(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) []Finding {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+
+	var out []Finding
+	for _, pkg := range pkgs {
+		out = append(out, runOne(fset, pkg, analyzers, known)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+func runOne(fset *token.FileSet, pkg *Package, analyzers []*Analyzer, known map[string]bool) []Finding {
+	var diags []Finding
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			diags = append(diags, Finding{Analyzer: name, Pos: fset.Position(d.Pos), Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, Finding{
+				Analyzer: DriverName,
+				Pos:      token.Position{Filename: pkg.Path},
+				Message:  fmt.Sprintf("analyzer %s failed: %v", name, err),
+			})
+		}
+	}
+
+	pragmas, hygiene := collectPragmas(fset, pkg, known)
+
+	// Suppression: walk diagnostics in source order; each one consumes the
+	// first unused pragma of its pass that targets its line. A pragma on
+	// line L targets lines L (trailing comment) and L+1 (standalone
+	// comment above the flagged statement).
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Pos.Column < b.Pos.Column
+	})
+	var kept []Finding
+	for _, d := range diags {
+		if d.Analyzer == DriverName {
+			kept = append(kept, d)
+			continue
+		}
+		suppressed := false
+		for _, pr := range pragmas {
+			if pr.used || pr.pass != d.Analyzer || pr.pos.Filename != d.Pos.Filename {
+				continue
+			}
+			if d.Pos.Line == pr.pos.Line || d.Pos.Line == pr.pos.Line+1 {
+				pr.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	for _, pr := range pragmas {
+		if !pr.used {
+			kept = append(kept, Finding{
+				Analyzer: DriverName,
+				Pos:      pr.pos,
+				Message:  fmt.Sprintf("unused %s pragma for pass %q: no diagnostic on this or the next line to suppress", PragmaPrefix, pr.pass),
+			})
+		}
+	}
+	return append(kept, hygiene...)
+}
+
+// collectPragmas scans a package's comments for //sofvet:ignore pragmas.
+// Well-formed pragmas naming a known pass are returned for suppression
+// matching; everything malformed comes back as hygiene findings.
+func collectPragmas(fset *token.FileSet, pkg *Package, known map[string]bool) ([]*pragma, []Finding) {
+	var pragmas []*pragma
+	var hygiene []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, PragmaPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, PragmaPrefix)
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					// e.g. //sofvet:ignoreepochsafe — not a pragma.
+					continue
+				}
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					hygiene = append(hygiene, Finding{
+						Analyzer: DriverName, Pos: pos,
+						Message: fmt.Sprintf("malformed %s pragma: want %q", PragmaPrefix, PragmaPrefix+" <pass> <reason>"),
+					})
+				case !known[fields[0]]:
+					hygiene = append(hygiene, Finding{
+						Analyzer: DriverName, Pos: pos,
+						Message: fmt.Sprintf("%s pragma names unknown pass %q (known: %s)", PragmaPrefix, fields[0], knownNames(known)),
+					})
+				case len(fields) == 1:
+					hygiene = append(hygiene, Finding{
+						Analyzer: DriverName, Pos: pos,
+						Message: fmt.Sprintf("%s pragma for pass %q has no reason; every suppression must say why", PragmaPrefix, fields[0]),
+					})
+				default:
+					pragmas = append(pragmas, &pragma{
+						pos:    pos,
+						pass:   fields[0],
+						reason: strings.Join(fields[1:], " "),
+					})
+				}
+			}
+		}
+	}
+	return pragmas, hygiene
+}
+
+func knownNames(known map[string]bool) string {
+	names := make([]string, 0, len(known))
+	for n := range known {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// graphPkgPath is the package owning the cost-epoch discipline; writes
+// inside it are the implementation and exempt.
+const graphPkgPath = "sof/internal/graph"
+
+// costMutators are the sanctioned cost-mutation entry points. Any of them
+// advances (or may advance) the cost epoch, so epoch values captured
+// before a call are stale after it.
+var costMutators = map[string]bool{
+	"SetEdgeCost":     true,
+	"SetNodeCost":     true,
+	"BumpCostEpoch":   true,
+	"SetLinkCost":     true, // sof.Network wrapper
+	"SetVMCost":       true, // sof.Network wrapper
+	"InvalidateCache": true, // chain.Oracle / dist.Cluster: thin epoch bump
+}
+
+// EpochSafe flags cost-state writes that bypass the graph package's
+// epoch-advancing setters, and cost-epoch values cached across a mutation.
+//
+// Every epoch-keyed cache (the oracle's Dijkstra trees, solved chains, the
+// CSR max-cost memo) trusts that CostEpoch() identifies the cost surface
+// exactly. A write to a Node.Cost/Edge.Cost field outside package graph
+// either mutates a stale copy (silent no-op) or, if it ever reached live
+// state, would change costs without advancing the epoch — serving
+// bit-wrong cached trees. Likewise an epoch read before SetEdgeCost/
+// SetNodeCost/BumpCostEpoch names a cost surface that no longer exists.
+var EpochSafe = &Analyzer{
+	Name: "epochsafe",
+	Doc: "graph cost state must change only through SetEdgeCost/SetNodeCost/BumpCostEpoch, " +
+		"and a captured CostEpoch value must not be reused across a mutation",
+	Run: runEpochSafe,
+}
+
+func runEpochSafe(pass *Pass) error {
+	path := pass.Pkg.Path()
+	if path == graphPkgPath || path == "graph" || strings.HasSuffix(path, "/graph") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		checkCostWrites(pass, f)
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkEpochReuse(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// checkCostWrites flags assignments and ++/-- on Cost fields of
+// graph.Node / graph.Edge values outside the graph package.
+func checkCostWrites(pass *Pass, f *ast.File) {
+	flag := func(x ast.Expr) {
+		sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Cost" {
+			return
+		}
+		t := pass.TypesInfo.Types[sel.X].Type
+		if t == nil {
+			return
+		}
+		if isNamedType(t, graphPkgPath, "Node") || isNamedType(t, graphPkgPath, "Edge") {
+			pass.Reportf(sel.Pos(),
+				"direct write to %s.Cost outside package graph: it mutates a copy and bypasses the cost epoch; use SetEdgeCost/SetNodeCost",
+				namedOrPointee(t).Obj().Name())
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				flag(lhs)
+			}
+		case *ast.IncDecStmt:
+			flag(n.X)
+		}
+		return true
+	})
+}
+
+// checkEpochReuse flags, within one function, any use of a variable
+// holding a CostEpoch() result lexically after a sanctioned cost-mutation
+// call. Lexical order approximates control flow: it is exact for straight-
+// line code and conservative-enough in practice for this code base; a
+// deliberate reuse takes a //sofvet:ignore pragma.
+func checkEpochReuse(pass *Pass, fd *ast.FuncDecl) {
+	type capture struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var captures []capture
+	var mutations []token.Pos
+	// LHS idents of the captures themselves: re-reading the epoch into the
+	// same variable after a mutation is the repair, not a reuse.
+	captureLHS := make(map[token.Pos]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isMethodNamed(call, "CostEpoch") {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := objectOf(pass.TypesInfo, id); obj != nil {
+							captures = append(captures, capture{obj: obj, pos: n.Pos()})
+							captureLHS[id.Pos()] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && costMutators[sel.Sel.Name] {
+				mutations = append(mutations, n.Pos())
+			}
+		}
+		return true
+	})
+	if len(captures) == 0 || len(mutations) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || captureLHS[id.Pos()] {
+			return true
+		}
+		// The latest capture before this use governs: a re-read after the
+		// mutation refreshes the variable and clears the staleness.
+		var last token.Pos = token.NoPos
+		for _, c := range captures {
+			if c.obj == obj && c.pos < id.Pos() && c.pos > last {
+				last = c.pos
+			}
+		}
+		if last == token.NoPos {
+			return true
+		}
+		for _, m := range mutations {
+			if last < m && m < id.Pos() {
+				pass.Reportf(id.Pos(),
+					"cost epoch %q captured before a cost mutation is reused after it; re-read CostEpoch() after SetEdgeCost/SetNodeCost/BumpCostEpoch",
+					id.Name)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// isMethodNamed reports whether call is a method call (or selector call)
+// with the given name and no arguments.
+func isMethodNamed(call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == name && len(call.Args) == 0
+}

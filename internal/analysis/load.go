@@ -1,0 +1,261 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path    string
+	Dir     string
+	GoFiles []string
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+}
+
+// Loader parses and type-checks packages from source, resolving imports
+// through compiled export data produced by `go list -export` — the same
+// data the go build cache already holds, so a warm run does no compiling.
+//
+// Two kinds of packages are loaded from source: the analysis targets
+// themselves (the passes need syntax trees and per-node type info, which
+// export data cannot provide) and, in tests, fixture packages rooted under
+// a testdata/src directory (which the go command refuses to list).
+// Everything else — the standard library and module packages referenced as
+// mere dependencies — comes from export data.
+type Loader struct {
+	Fset *token.FileSet
+	// ModuleDir is the module root the export map was computed in.
+	ModuleDir string
+	// FixtureRoot, when non-empty, is a directory whose subdirectories
+	// are importable as packages by their path relative to it (the
+	// analysistest testdata/src convention). Fixture imports win over
+	// export data so fixtures can shadow real packages.
+	FixtureRoot string
+
+	exports   map[string]string // import path -> export data file
+	loaded    map[string]*Package
+	importing map[string]bool
+	gc        types.Importer
+}
+
+// listEntry is the subset of `go list -json` output the loader reads.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Name       string
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+func runGoList(moduleDir string, args ...string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = moduleDir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list %s: decoding output: %v", strings.Join(args, " "), err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// NewLoader builds a loader for the module rooted at moduleDir. It runs
+// one `go list -export -deps` over the whole module (plus a few standard-
+// library roots fixtures are allowed to import), recording where the go
+// build cache keeps each dependency's export data.
+func NewLoader(moduleDir string) (*Loader, error) {
+	entries, err := runGoList(moduleDir,
+		"-e", "-export", "-deps", "-json=ImportPath,Export,Error",
+		"./...",
+		// Fixture packages may import standard-library packages the
+		// module itself happens not to depend on; list the plausible
+		// ones explicitly so their export data is on hand.
+		"context", "sort", "strings", "sync", "sync/atomic", "fmt", "sort", "strconv")
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:      token.NewFileSet(),
+		ModuleDir: moduleDir,
+		exports:   make(map[string]string, len(entries)),
+		loaded:    make(map[string]*Package),
+		importing: make(map[string]bool),
+	}
+	for _, e := range entries {
+		if e.Export != "" {
+			l.exports[e.ImportPath] = e.Export
+		}
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("sofvet: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+	return l, nil
+}
+
+// LoadPatterns expands go package patterns (./..., specific import paths)
+// and loads every matched package from source. Patterns with no Go files
+// are skipped; listing errors are returned.
+func (l *Loader) LoadPatterns(patterns ...string) ([]*Package, error) {
+	entries, err := runGoList(l.ModuleDir,
+		append([]string{"-e", "-json=ImportPath,Dir,Name,GoFiles,Error"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, e := range entries {
+		if e.Error != nil {
+			return nil, fmt.Errorf("sofvet: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if len(e.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(e.GoFiles))
+		for i, f := range e.GoFiles {
+			files[i] = filepath.Join(e.Dir, f)
+		}
+		p, err := l.loadSource(e.ImportPath, e.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// LoadFixture loads the fixture package at FixtureRoot/<path>, where path
+// doubles as the package's import path (analysistest convention).
+func (l *Loader) LoadFixture(path string) (*Package, error) {
+	if l.FixtureRoot == "" {
+		return nil, errors.New("sofvet: loader has no FixtureRoot configured")
+	}
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.FixtureRoot, filepath.FromSlash(path))
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("sofvet: fixture package %q: %v", path, err)
+	}
+	var files []string
+	for _, de := range des {
+		if !de.IsDir() && strings.HasSuffix(de.Name(), ".go") && !strings.HasSuffix(de.Name(), "_test.go") {
+			files = append(files, filepath.Join(dir, de.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("sofvet: fixture package %q has no Go files", path)
+	}
+	return l.loadSource(path, dir, files)
+}
+
+// loadSource parses and type-checks one package from its source files.
+func (l *Loader) loadSource(path, dir string, filenames []string) (*Package, error) {
+	if p, ok := l.loaded[path]; ok {
+		return p, nil
+	}
+	if l.importing[path] {
+		return nil, fmt.Errorf("sofvet: import cycle through %q", path)
+	}
+	l.importing[path] = true
+	defer delete(l.importing, path)
+
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(l.Fset, fn, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("sofvet: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		msgs := make([]string, 0, len(typeErrs))
+		for _, e := range typeErrs {
+			msgs = append(msgs, e.Error())
+		}
+		return nil, fmt.Errorf("sofvet: type-checking %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+	p := &Package{Path: path, Dir: dir, GoFiles: filenames, Files: files, Types: tpkg, Info: info}
+	l.loaded[path] = p
+	return p, nil
+}
+
+// loaderImporter adapts Loader to types.Importer for use while
+// type-checking: fixtures from source, everything else from export data.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	// Export data first, even for packages this loader has also checked
+	// from source: two targets importing a common dependency must see ONE
+	// types.Package for it, and the export-data importer's internal cache
+	// guarantees that, while mixing source-loaded and export-loaded views
+	// of the same path would make identical named types non-identical.
+	if _, ok := l.exports[path]; ok {
+		return l.gc.Import(path)
+	}
+	// A fixture package (or one of its siblings), importable by its
+	// testdata-relative path. These never have export data.
+	if p, ok := l.loaded[path]; ok {
+		return p.Types, nil
+	}
+	if l.FixtureRoot != "" {
+		if st, err := os.Stat(filepath.Join(l.FixtureRoot, filepath.FromSlash(path))); err == nil && st.IsDir() {
+			p, err := l.LoadFixture(path)
+			if err != nil {
+				return nil, err
+			}
+			return p.Types, nil
+		}
+	}
+	return nil, fmt.Errorf("sofvet: cannot resolve import %q (no export data; not a fixture)", path)
+}

@@ -1,0 +1,105 @@
+package analysis_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"sof/internal/analysis"
+	"sof/internal/analysis/analysistest"
+)
+
+// One loader for the whole test binary: NewLoader shells out to `go list
+// -export -deps` over the module, and fixture type-checking is cached per
+// import path, so sharing it keeps the suite well under the CI budget.
+var (
+	loaderOnce sync.Once
+	loader     *analysis.Loader
+)
+
+func sharedLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		loader = analysistest.NewLoader(t, ".")
+	})
+	if loader == nil {
+		t.Fatal("loader failed to initialize in an earlier test")
+	}
+	return loader
+}
+
+func TestEpochSafe(t *testing.T) {
+	analysistest.Run(t, sharedLoader(t), analysis.EpochSafe, "epochsafe")
+}
+
+func TestDetOrder(t *testing.T) {
+	analysistest.Run(t, sharedLoader(t), analysis.DetOrder, "detorder")
+}
+
+func TestCtxFlow(t *testing.T) {
+	analysistest.Run(t, sharedLoader(t), analysis.CtxFlow, "ctxflow")
+}
+
+func TestPoolBalance(t *testing.T) {
+	analysistest.Run(t, sharedLoader(t), analysis.PoolBalance, "poolbalance")
+}
+
+func TestAtomicField(t *testing.T) {
+	analysistest.Run(t, sharedLoader(t), analysis.AtomicField, "atomicfield")
+}
+
+// TestDriverPragmas pins the driver contract on the pragmas fixture: a
+// well-formed pragma (standalone-above or trailing) suppresses exactly one
+// diagnostic of its pass, and every hygiene failure — missing reason,
+// unknown pass, unused pragma, bare pragma — is a finding of its own.
+func TestDriverPragmas(t *testing.T) {
+	got := analysistest.Findings(t, sharedLoader(t), analysis.All(), "pragmas")
+
+	type expect struct {
+		line     int
+		analyzer string
+		substr   string
+	}
+	expected := []expect{
+		// Line 12 (append to a) is suppressed by the pragma on line 11;
+		// line 13's identical violation must survive — one pragma, one diag.
+		{13, "detorder", `append to "b"`},
+		// The reason-less pragma is hygiene...
+		{30, "sofvet", "has no reason"},
+		// ...and suppresses nothing, so its target survives too.
+		{31, "detorder", `append to "out"`},
+		{36, "sofvet", `unknown pass "nosuchpass"`},
+		{39, "sofvet", "unused"},
+		{42, "sofvet", "malformed"},
+	}
+	if len(got) != len(expected) {
+		t.Fatalf("driver produced %d findings, want %d:\n%s", len(got), len(expected), strings.Join(got, "\n"))
+	}
+	for i, e := range expected {
+		f := got[i]
+		wantPrefix := "pragmas/pragmas.go:" + itoa(e.line) + ":"
+		if !strings.HasPrefix(f, wantPrefix) || !strings.Contains(f, "["+e.analyzer+"]") || !strings.Contains(f, e.substr) {
+			t.Errorf("finding %d = %q; want line %d, analyzer %s, containing %q", i, f, e.line, e.analyzer, e.substr)
+		}
+	}
+	// The suppressed diagnostics must be gone entirely.
+	for _, f := range got {
+		if strings.Contains(f, `append to "a"`) || strings.Contains(f, `send on "ch"`) {
+			t.Errorf("suppressed diagnostic leaked through: %q", f)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

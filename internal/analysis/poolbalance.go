@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolBalance checks that every sync.Pool.Get is balanced by a *deferred*
+// Put of the same pool in the same function, unless the value escapes
+// (returned, stored into a field/global/element, or sent on a channel) —
+// the acquire/release API shape, where the release side owns the Put.
+//
+// Why deferred: the graph arena code recycles Dijkstra scratch whose heap
+// positions and generation marks are self-restoring; a panic between a
+// plain Get/Put pair silently drops the arena, and worse, a recovered
+// panic can leave a half-restored arena out of the pool on one path and
+// re-Put on another. `defer pool.Put(x)` is panic-safe by construction
+// and costs nothing measurable on modern Go.
+var PoolBalance = &Analyzer{
+	Name: "poolbalance",
+	Doc:  "every sync.Pool.Get must reach a deferred Put on all return paths, unless the value escapes to a release API",
+	Run:  runPoolBalance,
+}
+
+func runPoolBalance(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkPoolFunc(pass, fn.Body)
+				}
+				// Nested FuncLits are checked as their own functions
+				// below; checkPoolFunc itself skips them.
+			case *ast.FuncLit:
+				checkPoolFunc(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// poolGet is one pool.Get() call found in a function body.
+type poolGet struct {
+	call *ast.CallExpr
+	pool string       // rendered pool expression, e.g. "arenaPool" or "s.pool"
+	obj  types.Object // variable the value is bound to (nil if discarded)
+}
+
+// checkPoolFunc audits one function body (excluding nested function
+// literals, which are audited separately with their own return paths).
+func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	var gets []poolGet
+	deferredPuts := make(map[string]bool) // pool expr -> has deferred Put
+
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			// defer pool.Put(x), or defer func() { ...; pool.Put(x); ... }()
+			if pool, ok := poolMethodCall(info, n.Call, "Put"); ok {
+				deferredPuts[pool] = true
+			}
+			if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					if call, ok := m.(*ast.CallExpr); ok {
+						if pool, ok := poolMethodCall(info, call, "Put"); ok {
+							deferredPuts[pool] = true
+						}
+					}
+					return true
+				})
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if pool, ok := poolMethodCall(info, call, "Get"); ok {
+					gets = append(gets, poolGet{call: call, pool: pool})
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, pool, ok := unwrapGet(info, rhs)
+				if !ok {
+					continue
+				}
+				g := poolGet{call: call, pool: pool}
+				if i < len(n.Lhs) {
+					if id, ok := ast.Unparen(n.Lhs[i]).(*ast.Ident); ok {
+						g.obj = objectOf(info, id)
+					}
+				}
+				gets = append(gets, g)
+			}
+		}
+		return true
+	})
+
+	for _, g := range gets {
+		if deferredPuts[g.pool] {
+			continue
+		}
+		if g.obj != nil && escapes(pass, body, g.obj) {
+			continue
+		}
+		what := "its result"
+		if g.obj != nil {
+			what = g.obj.Name()
+		}
+		pass.Reportf(g.call.Pos(),
+			"%s.Get() without a deferred %s.Put in this function: a panic on any path between Get and Put drops %s from the pool; use `defer %s.Put(...)` or hand the value to a release API",
+			g.pool, g.pool, what, g.pool)
+	}
+}
+
+// inspectShallow walks body but does not descend into function literals:
+// their return paths are their own.
+func inspectShallow(body *ast.BlockStmt, fn func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// unwrapGet matches `pool.Get()` and `pool.Get().(*T)` expressions.
+func unwrapGet(info *types.Info, e ast.Expr) (*ast.CallExpr, string, bool) {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return nil, "", false
+	}
+	pool, ok := poolMethodCall(info, call, "Get")
+	return call, pool, ok
+}
+
+// poolMethodCall reports whether call is sync.Pool method `name` and
+// returns the rendered receiver expression as the pool's identity.
+func poolMethodCall(info *types.Info, call *ast.CallExpr, name string) (string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return "", false
+	}
+	t := info.Types[sel.X].Type
+	if t == nil || !isNamedType(t, "sync", "Pool") {
+		return "", false
+	}
+	return types.ExprString(sel.X), true
+}
+
+// escapes reports whether obj leaves the function through a return, a
+// store into a field/index/global, a channel send, or a composite
+// literal — the shapes under which Put responsibility moves elsewhere.
+func escapes(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	info := pass.TypesInfo
+	found := false
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && objectOf(info, id) == obj
+	}
+	// Only the value itself leaving counts: `return a` escapes, but
+	// `return len(a.buf)` reads a and still owes the Put here.
+	inspectShallow(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if isObj(r) {
+					found = true
+				}
+			}
+		case *ast.SendStmt:
+			if isObj(n.Value) {
+				found = true
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) || !isObj(n.Rhs[i]) {
+					continue
+				}
+				switch target := ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					found = true
+				case *ast.Ident:
+					if o := objectOf(info, target); o != nil && o.Parent() == pass.Pkg.Scope() {
+						found = true // stored into a package-level variable
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					el = kv.Value
+				}
+				if isObj(el) {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,45 @@
+// Package atomicfield is the fixture for the atomicfield pass: a field
+// touched through sync/atomic anywhere must be touched that way
+// everywhere in the package.
+package atomicfield
+
+import "sync/atomic"
+
+type stats struct {
+	hits   int64
+	misses int64
+	// label is never atomic; plain access is fine.
+	label string
+}
+
+func (s *stats) hit() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+func (s *stats) hitCount() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+func (s *stats) racyRead() int64 {
+	return s.hits // want "field hits is accessed with sync/atomic"
+}
+
+func (s *stats) racyWrite() {
+	s.hits = 0 // want "field hits is accessed with sync/atomic"
+}
+
+// misses is only ever touched plainly in this fixture, so it is not an
+// atomic field and plain access carries no finding.
+func (s *stats) missCount() int64 {
+	return s.misses
+}
+
+func (s *stats) name() string {
+	return s.label
+}
+
+// newStats uses struct-literal keys, which are initialization before
+// publication and exempt by construction (keys are not selectors).
+func newStats() *stats {
+	return &stats{hits: 0, misses: 0, label: "fresh"}
+}

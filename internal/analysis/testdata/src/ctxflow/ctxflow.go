@@ -1,0 +1,54 @@
+// Package ctxflow is the fixture for the ctxflow pass: minted Background/
+// TODO contexts and context-less exported entry points are flagged; the
+// nil-guard idiom and the documented compat-wrapper shape are not.
+package ctxflow
+
+import "context"
+
+func work(ctx context.Context, n int) int {
+	_ = ctx
+	return n
+}
+
+// Bad mints a Background where a caller context belongs, and as an
+// exported entry point calling context-taking work it is flagged twice.
+func Bad(n int) int { // want "exported Bad calls context-taking work but accepts no context.Context"
+	return work(context.Background(), n) // want "context.Background.. introduced in ctxflow"
+}
+
+func badTODO(n int) int {
+	return work(context.TODO(), n) // want "context.TODO.. introduced in ctxflow"
+}
+
+// Good accepts and forwards.
+func Good(ctx context.Context, n int) int {
+	return work(ctx, n)
+}
+
+// nilGuardAssign is the sanctioned normalization shape.
+func nilGuardAssign(ctx context.Context, n int) int {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return work(ctx, n)
+}
+
+// nilGuardReturn is the helper-function variant of the guard.
+func nilGuardReturn(ctx context.Context) context.Context {
+	if ctx == nil {
+		return context.Background()
+	}
+	return ctx
+}
+
+// RunCtx is the context-taking implementation behind the compat wrapper.
+func RunCtx(ctx context.Context, n int) int {
+	return work(ctx, n)
+}
+
+// Run is the compat-wrapper idiom: delegating to its own Ctx sibling is
+// exempt from the entry-point rule, but the Background it passes is still
+// a finding of the other rule — exactly one pragma per wrapper.
+func Run(n int) int {
+	return RunCtx(context.Background(), n) // want "context.Background.. introduced in ctxflow"
+}

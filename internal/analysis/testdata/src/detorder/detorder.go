@@ -1,0 +1,83 @@
+// Package detorder is the fixture for the detorder pass: map-range loops
+// feeding ordered output are flagged; value aggregation and the
+// collect-then-sort repair are not.
+package detorder
+
+import "sort"
+
+func badAppend(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		out = append(out, v) // want "append to .out. inside map iteration"
+	}
+	return out
+}
+
+func collectThenSort(m map[int]string) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+func badWinner(m map[int][]int) int {
+	best := -1
+	for k, list := range m {
+		if len(list) > 1 {
+			best = k // want "map key .k. assigned to outer variable .best."
+		}
+	}
+	return best
+}
+
+func badSend(m map[int]string, ch chan string) {
+	for _, v := range m {
+		ch <- v // want "send on .ch. inside map iteration"
+	}
+}
+
+func badClosure(m map[int]string) []string {
+	var out []string
+	add := func(s string) {
+		out = append(out, s)
+	}
+	for _, v := range m {
+		add(v) // want "call to .add. inside map iteration appends"
+	}
+	return out
+}
+
+// valueAggregation is order-independent: sums and maxima of the values do
+// not depend on iteration order.
+func valueAggregation(m map[int]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// innerSlice appends to a slice declared inside the loop — each iteration
+// gets a fresh one, so order cannot leak out.
+func innerSlice(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		for _, v := range vs {
+			local = append(local, v)
+		}
+		n += len(local)
+	}
+	return n
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}

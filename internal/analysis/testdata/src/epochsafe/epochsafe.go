@@ -1,0 +1,55 @@
+// Package epochsafe is the fixture for the epochsafe pass: direct cost
+// writes and stale epoch reuse are flagged; the sanctioned setters and
+// re-read epochs are not.
+package epochsafe
+
+import "sof/internal/graph"
+
+func directNodeWrite(g *graph.Graph) {
+	n := g.Node(0)
+	n.Cost = 5 // want "direct write to Node.Cost outside package graph"
+}
+
+func directEdgeWrite(g *graph.Graph) {
+	e := g.Edge(0)
+	e.Cost = 2.5 // want "direct write to Edge.Cost outside package graph"
+}
+
+func incDecWrite(g *graph.Graph) {
+	n := g.Node(1)
+	n.Cost++ // want "direct write to Node.Cost outside package graph"
+}
+
+func sanctionedWrites(g *graph.Graph) {
+	g.SetNodeCost(0, 5)
+	g.SetEdgeCost(0, 2.5)
+	g.BumpCostEpoch()
+}
+
+// unrelatedCost proves the pass keys on the receiver type, not the field
+// name: a Cost field on a local struct is nobody's business.
+type pricing struct{ Cost float64 }
+
+func unrelatedCost(p *pricing) {
+	p.Cost = 9
+}
+
+func staleEpochReuse(g *graph.Graph) uint64 {
+	epoch := g.CostEpoch()
+	g.SetNodeCost(0, 7)
+	return epoch // want "captured before a cost mutation is reused after it"
+}
+
+func epochRereadIsFine(g *graph.Graph) uint64 {
+	epoch := g.CostEpoch()
+	_ = epoch
+	g.SetNodeCost(0, 7)
+	epoch = g.CostEpoch()
+	return epoch
+}
+
+func epochNoMutation(g *graph.Graph) (uint64, float64) {
+	epoch := g.CostEpoch()
+	c := g.NodeCost(0)
+	return epoch, c
+}

@@ -1,0 +1,68 @@
+// Package poolbalance is the fixture for the poolbalance pass: a pool.Get
+// without a deferred Put leaks on panic; escapes to a release API are the
+// sanctioned alternative.
+package poolbalance
+
+import "sync"
+
+type arena struct{ buf []byte }
+
+var pool = sync.Pool{New: func() any { return new(arena) }}
+
+type holder struct{ a *arena }
+
+func leakPlain() int {
+	a := pool.Get().(*arena) // want "pool.Get.. without a deferred pool.Put"
+	return len(a.buf)
+}
+
+// unbalancedPut mirrors the Dijkstra bug this pass caught in the real
+// tree: a plain Put before return leaks the arena if anything between
+// Get and Put panics.
+func unbalancedPut() int {
+	a := pool.Get().(*arena) // want "pool.Get.. without a deferred pool.Put"
+	n := len(a.buf)
+	pool.Put(a)
+	return n
+}
+
+func discarded() {
+	pool.Get() // want "pool.Get.. without a deferred pool.Put"
+}
+
+func balancedDefer() int {
+	a := pool.Get().(*arena)
+	defer pool.Put(a)
+	return len(a.buf)
+}
+
+func balancedDeferClosure() int {
+	a := pool.Get().(*arena)
+	defer func() {
+		a.buf = a.buf[:0]
+		pool.Put(a)
+	}()
+	return len(a.buf)
+}
+
+// escapeReturn hands the value to the caller: the release side owns Put.
+func escapeReturn() *arena {
+	a := pool.Get().(*arena)
+	return a
+}
+
+// escapeField stores the value into a struct: the holder owns Put.
+func escapeField(h *holder) {
+	a := pool.Get().(*arena)
+	h.a = a
+}
+
+// twoPools must not let one pool's deferred Put cover the other's Get.
+var other = sync.Pool{New: func() any { return new(arena) }}
+
+func twoPools() int {
+	a := pool.Get().(*arena)
+	defer pool.Put(a)
+	b := other.Get().(*arena) // want "other.Get.. without a deferred other.Put"
+	return len(a.buf) + len(b.buf)
+}

@@ -1,0 +1,43 @@
+// Package pragmas is the fixture for the sofvet driver: suppression scope
+// (one pragma, one diagnostic), both pragma placements, and every pragma
+// hygiene failure mode.
+package pragmas
+
+// suppressedOne holds two detorder violations; the standalone pragma above
+// the first suppresses exactly that one, the second must survive.
+func suppressedOne(m map[int]string) ([]string, []string) {
+	var a, b []string
+	for _, v := range m {
+		//sofvet:ignore detorder fixture: order deliberately unstable here
+		a = append(a, v)
+		b = append(b, v)
+	}
+	return a, b
+}
+
+// suppressedTrailing uses the same-line pragma placement.
+func suppressedTrailing(m map[int]string, ch chan string) {
+	for _, v := range m {
+		ch <- v //sofvet:ignore detorder fixture: emission order is irrelevant here
+	}
+}
+
+// noReason is an invalid suppression: the pragma is a hygiene finding and
+// the diagnostic it meant to cover survives.
+func noReason(m map[int]string) []string {
+	var out []string
+	for _, v := range m {
+		//sofvet:ignore detorder
+		out = append(out, v)
+	}
+	return out
+}
+
+//sofvet:ignore nosuchpass the named pass does not exist
+var unknownPass = 1
+
+//sofvet:ignore detorder nothing on the next line needs suppressing
+var unusedPragma = 2
+
+//sofvet:ignore
+var malformed = 3

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"sof/internal/chain"
 	"sof/internal/core"
@@ -414,9 +415,17 @@ func (b *builder) greedyChain(s graph.NodeID, free []graph.NodeID, lastInside ma
 
 // nearestTreeNode returns the tree node closest to u by shortest path.
 func (b *builder) nearestTreeNode(u graph.NodeID, treeNodes map[graph.NodeID]bool) (graph.NodeID, float64, error) {
+	// Scan candidates in sorted id order: map order would break ties by
+	// whichever equal-distance node the runtime happened to yield first,
+	// and the attach node shapes the whole tree.
+	nodes := make([]graph.NodeID, 0, len(treeNodes))
+	for n := range treeNodes {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
 	bestNode := graph.None
 	bestDist := math.Inf(1)
-	for n := range treeNodes {
+	for _, n := range nodes {
 		_, _, d, err := b.oracle.Path(u, n)
 		if err != nil {
 			continue
@@ -491,6 +500,7 @@ func (b *builder) totalCost(cands []*candidate) (float64, map[graph.NodeID]int) 
 				mine = append(mine, d)
 			}
 		}
+		sort.Slice(mine, func(a, b int) bool { return mine[a] < mine[b] })
 		if len(mine) == 0 {
 			continue
 		}
@@ -510,6 +520,7 @@ func (b *builder) assemble(cands []*candidate, assign map[graph.NodeID]int) (*co
 				mine = append(mine, d)
 			}
 		}
+		sort.Slice(mine, func(a, b int) bool { return mine[a] < mine[b] })
 		if len(mine) == 0 {
 			continue
 		}

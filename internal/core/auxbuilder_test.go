@@ -55,7 +55,7 @@ func TestAuxBuilderMatchesBatchPath(t *testing.T) {
 			t.Errorf("seed %d: batch-from-candidates %v != SOFDA %v", seed, batch.TotalCost(), direct.TotalCost())
 		}
 		for _, prune := range []bool{false, true} {
-			b, err := NewAuxGraphBuilder(net.G, req, opts)
+			b, err := NewAuxGraphBuilder(context.Background(), net.G, req, opts)
 			if err != nil {
 				t.Fatalf("seed %d: builder: %v", seed, err)
 			}
@@ -127,7 +127,7 @@ func TestDominatedPairNeverEntersAuxGraph(t *testing.T) {
 			chainFar.TotalCost(), chainNear.TotalCost(), distU1U2)
 	}
 
-	b, err := NewAuxGraphBuilder(g, req, nil)
+	b, err := NewAuxGraphBuilder(context.Background(), g, req, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -167,7 +167,7 @@ func TestDominatedPairNeverEntersAuxGraph(t *testing.T) {
 // silently corrupting Ĝ.
 func TestAuxBuilderRejectsForeignChains(t *testing.T) {
 	net, req, opts, candidates := auxBuilderInstance(t, 7)
-	b, err := NewAuxGraphBuilder(net.G, req, opts)
+	b, err := NewAuxGraphBuilder(context.Background(), net.G, req, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestAuxBuilderRejectsForeignChains(t *testing.T) {
 	if ok, err := b.AddCandidate(short); err != nil || ok {
 		t.Errorf("wrong-length chain: ok=%v err=%v, want skipped", ok, err)
 	}
-	if _, err := NewAuxGraphBuilder(net.G, Request{Sources: req.Sources, Dests: req.Dests, ChainLen: 0}, opts); err == nil {
+	if _, err := NewAuxGraphBuilder(context.Background(), net.G, Request{Sources: req.Sources, Dests: req.Dests, ChainLen: 0}, opts); err == nil {
 		t.Error("builder accepted chainLen 0")
 	}
 }

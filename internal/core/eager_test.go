@@ -50,7 +50,7 @@ func TestEagerCompleteMatchesInline(t *testing.T) {
 			t.Fatalf("seed %d: candidates: %v", seed, err)
 		}
 		for _, prune := range []bool{false, true} {
-			b, err := NewAuxGraphBuilder(net.G, req, opts)
+			b, err := NewAuxGraphBuilder(context.Background(), net.G, req, opts)
 			if err != nil {
 				t.Fatalf("seed %d: builder: %v", seed, err)
 			}
@@ -88,7 +88,7 @@ func TestEagerOverlapAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewAuxGraphBuilder(net.G, req, opts)
+	b, err := NewAuxGraphBuilder(context.Background(), net.G, req, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +155,7 @@ func TestEagerLastDeliveryLaunch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := NewAuxGraphBuilder(net.G, req, opts)
+	b, err := NewAuxGraphBuilder(context.Background(), net.G, req, opts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -142,6 +142,11 @@ type AuxGraphBuilder struct {
 	vms    []graph.NodeID
 	oracle *chain.Oracle
 	aux    *auxGraph
+	// ctx is the embedding's context, captured at construction: the
+	// builder is a single-request object, and its internal oracle work
+	// (the batched destination-tree prewarm) must die with the request
+	// rather than run under a minted Background.
+	ctx context.Context
 
 	pruning   bool
 	destTrees map[graph.NodeID]*graph.ShortestPaths
@@ -207,8 +212,10 @@ type auxCand struct {
 
 // NewAuxGraphBuilder validates the request and builds Ĝ's skeleton. It
 // requires chainLen >= 1: with no chains to stream, the problem is a plain
-// Steiner forest and SOFDACtx solves it directly.
-func NewAuxGraphBuilder(g *graph.Graph, req Request, opts *Options) (*AuxGraphBuilder, error) {
+// Steiner forest and SOFDACtx solves it directly. ctx scopes the builder's
+// own oracle work (destination-tree prewarming) to the embedding; nil is
+// normalized like every other Ctx entry point.
+func NewAuxGraphBuilder(ctx context.Context, g *graph.Graph, req Request, opts *Options) (*AuxGraphBuilder, error) {
 	if err := req.Validate(g); err != nil {
 		return nil, err
 	}
@@ -216,7 +223,7 @@ func NewAuxGraphBuilder(g *graph.Graph, req Request, opts *Options) (*AuxGraphBu
 		return nil, errors.New("core: aux-graph builder requires chainLen >= 1 (chainLen 0 degenerates to a Steiner forest)")
 	}
 	o := optsOrDefault(opts)
-	b := &AuxGraphBuilder{g: g, req: req, o: o}
+	b := &AuxGraphBuilder{g: g, req: req, o: o, ctx: ctxOrBackground(ctx)}
 	b.vms = o.vms(g)
 	b.oracle = o.oracle(g)
 	b.aux = newAuxSkeleton(g, req.Sources, b.vms, req.ChainLen)
@@ -245,7 +252,7 @@ func (b *AuxGraphBuilder) ensureDestTrees() {
 	if b.destTrees != nil {
 		return
 	}
-	b.destWarmed = b.oracle.WarmTrees(context.Background(), b.req.Dests)
+	b.destWarmed = b.oracle.WarmTrees(b.ctx, b.req.Dests)
 	b.destTrees = make(map[graph.NodeID]*graph.ShortestPaths, len(b.req.Dests))
 	for _, d := range b.req.Dests {
 		b.destTrees[d] = b.oracle.Tree(d)
@@ -490,6 +497,7 @@ func (b *AuxGraphBuilder) Complete(ctx context.Context) (*Forest, error) {
 // SOFDA itself is equivalent to computing all |S|·|M| candidates centrally
 // and calling this.
 func SOFDAFromCandidates(g *graph.Graph, req Request, opts *Options, candidates []*chain.ServiceChain) (*Forest, error) {
+	//sofvet:ignore ctxflow compat wrapper kept for pre-ctx callers; cancellation lives in SOFDAFromCandidatesCtx
 	return SOFDAFromCandidatesCtx(context.Background(), g, req, opts, candidates)
 }
 
@@ -503,7 +511,7 @@ func SOFDAFromCandidatesCtx(ctx context.Context, g *graph.Graph, req Request, op
 		}
 		return SOFDACtx(ctx, g, req, opts)
 	}
-	b, err := NewAuxGraphBuilder(g, req, opts)
+	b, err := NewAuxGraphBuilder(ctx, g, req, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -608,6 +616,7 @@ func (a *auxGraph) isRealEdge(e graph.EdgeID) bool { return int(e) < a.origEdges
 // walks (resolving VNF conflicts per Procedure 4), and attaches the
 // tree's real-edge components to the walks' last VMs.
 func SOFDA(g *graph.Graph, req Request, opts *Options) (*Forest, error) {
+	//sofvet:ignore ctxflow compat wrapper kept for pre-ctx callers; cancellation lives in SOFDACtx
 	return SOFDACtx(context.Background(), g, req, opts)
 }
 
@@ -809,6 +818,7 @@ func assembleForest(g *graph.Graph, oracle *chain.Oracle, vms []graph.NodeID, re
 				if anchor != graph.None {
 					return nil, fmt.Errorf("core: tree component holds two anchors (%d, %d)", anchor, n)
 				}
+				//sofvet:ignore detorder at most one anchor exists per component (two is an error above), so no tie for map order to break
 				anchor = n
 			}
 		}

@@ -109,6 +109,7 @@ func resolvePar(n int) int {
 // Steiner tree spanning u and all destinations, and returns the cheapest
 // resulting forest.
 func SOFDASS(g *graph.Graph, source graph.NodeID, dests []graph.NodeID, chainLen int, opts *Options) (*Forest, error) {
+	//sofvet:ignore ctxflow compat wrapper kept for pre-ctx callers; cancellation lives in SOFDASSCtx
 	return SOFDASSCtx(context.Background(), g, source, dests, chainLen, opts)
 }
 

@@ -399,7 +399,7 @@ func (c *Cluster) SOFDA(ctx context.Context, req core.Request, opts Options) (*c
 	// uses: dominated candidates are rejected on arrival (unless
 	// DisablePruning) instead of allocating aux-graph state, and the
 	// forest cost is provably unchanged either way.
-	builder, err := core.NewAuxGraphBuilder(c.g, req, o)
+	builder, err := core.NewAuxGraphBuilder(ctx, c.g, req, o)
 	if err != nil {
 		return nil, err
 	}

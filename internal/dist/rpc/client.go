@@ -178,6 +178,7 @@ func (t *Transport) Close() error {
 	t.streams = nil
 	active := make([]*streamConn, 0, len(t.streamActive))
 	for sc := range t.streamActive {
+		//sofvet:ignore detorder teardown: each stream conn is closed independently and has no sort key
 		active = append(active, sc)
 	}
 	t.mu.Unlock()

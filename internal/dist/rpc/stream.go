@@ -205,6 +205,7 @@ func (s *Server) serveStream(conn net.Conn) {
 		if err := dec.Decode(req); err != nil {
 			return // peer closed (or a framing error — either way the conn is done)
 		}
+		//sofvet:ignore ctxflow the conn is the cancellation signal: a dead peer fails the next per-fragment flush
 		err := s.ds.dom.AnswerStream(context.Background(), req, func(f *dist.CandidateFragment) error {
 			if err := enc.Encode(f); err != nil {
 				return err

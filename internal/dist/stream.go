@@ -77,7 +77,7 @@ type streamEvent struct {
 // auxiliary graph (and with it the forest cost) is bit-identical to the
 // batch exchange while its construction overlaps the slower domains.
 func (c *Cluster) sofdaStreaming(ctx context.Context, st StreamTransport, req core.Request, o *core.Options, vms []graph.NodeID, pairs []chain.Pair, perDomain [][]chain.Pair, perIndices [][]int, epoch, digest uint64, parallelism int) (*core.Forest, error) {
-	builder, err := core.NewAuxGraphBuilder(c.g, req, o)
+	builder, err := core.NewAuxGraphBuilder(ctx, c.g, req, o)
 	if err != nil {
 		return nil, err
 	}

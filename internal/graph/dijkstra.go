@@ -129,6 +129,7 @@ func Dijkstra(g *Graph, src NodeID) *ShortestPaths {
 	}
 	c := g.csr()
 	a := arenaPool.Get().(*Arena)
+	defer arenaPool.Put(a)
 	a.ensure(n)
 	if maxC, ok := useBucketQueue(g, n); ok {
 		a.bq.configure(n, maxC)
@@ -136,7 +137,6 @@ func Dijkstra(g *Graph, src NodeID) *ShortestPaths {
 	} else {
 		dijkstraHeap(g, c, a, sp)
 	}
-	arenaPool.Put(a)
 	return sp
 }
 

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"sof/internal/lp"
 )
@@ -55,6 +56,14 @@ func (p *Problem) Solve() (*Solution, error) {
 		}
 		isBin[v] = true
 	}
+	// Branch-variable scans run over this sorted index list, never over the
+	// isBin map: ties on fractionality must break toward the same variable
+	// every run or the search tree wobbles with map order.
+	binVars := make([]int, 0, len(isBin))
+	for v := range isBin {
+		binVars = append(binVars, v)
+	}
+	sort.Ints(binVars)
 
 	var best *Solution
 	nodes := 0
@@ -80,7 +89,7 @@ func (p *Problem) Solve() (*Solution, error) {
 		// Most fractional binary variable.
 		branchVar := -1
 		worst := intTol
-		for v := range isBin {
+		for _, v := range binVars {
 			frac := math.Abs(rel.X[v] - math.Round(rel.X[v]))
 			if frac > worst {
 				worst = frac

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sort"
 
 	"sof/internal/core"
 	"sof/internal/graph"
@@ -67,7 +68,11 @@ type layered struct {
 
 func (l *layered) id(v graph.NodeID, layer int) int { return int(v) + layer*l.n }
 
-func buildLayered(g *graph.Graph, sources []graph.NodeID, vms map[graph.NodeID]bool, chainLen int, srcCost bool) *layered {
+// buildLayered takes the candidate VMs as a sorted, deduplicated slice:
+// arc order determines branch order downstream, so iterating a map here
+// would make the search tree (though never the optimal cost) depend on
+// Go's randomized map order.
+func buildLayered(g *graph.Graph, sources []graph.NodeID, vms []graph.NodeID, chainLen int, srcCost bool) *layered {
 	n := g.NumNodes()
 	levels := chainLen + 1
 	l := &layered{
@@ -86,7 +91,7 @@ func buildLayered(g *graph.Graph, sources []graph.NodeID, vms map[graph.NodeID]b
 			addArc(arc{from: l.id(ed.V, layer), to: l.id(ed.U, layer), cost: ed.Cost, edge: graph.EdgeID(e), enableVM: graph.None})
 		}
 	}
-	for v := range vms {
+	for _, v := range vms {
 		for layer := 0; layer < chainLen; layer++ {
 			addArc(arc{
 				from: l.id(v, layer), to: l.id(v, layer+1),
@@ -114,6 +119,13 @@ func buildLayered(g *graph.Graph, sources []graph.NodeID, vms map[graph.NodeID]b
 	return l
 }
 
+// branchTrace, when set by a test, observes every branch-and-bound
+// branching decision (the VM branched on and its conflicting arc count)
+// in the order taken. The search must report the identical sequence on
+// every run — it is the repeat-run determinism probe for the fixes that
+// removed map-order dependence from buildLayered and the conflict pick.
+var branchTrace func(vm graph.NodeID, arcs int)
+
 // Solve returns an optimal forest for the request, or an error when the
 // instance is too large, infeasible, or the branch budget is exhausted.
 func Solve(g *graph.Graph, req core.Request, opts *Options) (*core.Forest, error) {
@@ -138,15 +150,22 @@ func SolveCtx(ctx context.Context, g *graph.Graph, req core.Request, opts *Optio
 	if len(req.Dests) > MaxTerminals {
 		return nil, fmt.Errorf("sofexact: %d destinations exceeds limit %d", len(req.Dests), MaxTerminals)
 	}
-	vmSet := make(map[graph.NodeID]bool)
 	vmList := o.VMs
 	if vmList == nil {
 		vmList = g.VMs()
 	}
-	for _, v := range vmList {
-		vmSet[v] = true
+	// Sort and deduplicate without mutating the caller's slice; the sorted
+	// order fixes the enable-arc order and with it the branch order.
+	vmList = append([]graph.NodeID(nil), vmList...)
+	sort.Slice(vmList, func(i, j int) bool { return vmList[i] < vmList[j] })
+	uniq := vmList[:0]
+	for i, v := range vmList {
+		if i == 0 || v != vmList[i-1] {
+			uniq = append(uniq, v)
+		}
 	}
-	l := buildLayered(g, req.Sources, vmSet, req.ChainLen, o.SourceSetupCost)
+	vmList = uniq
+	l := buildLayered(g, req.Sources, vmList, req.ChainLen, o.SourceSetupCost)
 
 	// Terminals: (d, |C|) deduped, plus the root.
 	termIdx := make(map[int]int)
@@ -204,9 +223,17 @@ func SolveCtx(ctx context.Context, g *graph.Graph, req core.Request, opts *Optio
 				byVM[a.enableVM] = append(byVM[a.enableVM], ai)
 			}
 		}
+		// Pick the most conflicted VM, breaking count ties toward the
+		// smallest node id: byVM is a map, so the selection must not lean
+		// on its iteration order or the branch tree varies run to run.
+		vmKeys := make([]graph.NodeID, 0, len(byVM))
+		for v := range byVM {
+			vmKeys = append(vmKeys, v)
+		}
+		sort.Slice(vmKeys, func(i, j int) bool { return vmKeys[i] < vmKeys[j] })
 		conflictVM := graph.None
-		for v, list := range byVM {
-			if len(list) > 1 && (conflictVM == graph.None || len(list) > len(byVM[conflictVM])) {
+		for _, v := range vmKeys {
+			if len(byVM[v]) > 1 && (conflictVM == graph.None || len(byVM[v]) > len(byVM[conflictVM])) {
 				conflictVM = v
 			}
 		}
@@ -221,6 +248,9 @@ func SolveCtx(ctx context.Context, g *graph.Graph, req core.Request, opts *Optio
 		// in every branch). Forbidding |J|−1 arcs per branch prunes far
 		// faster than excluding one arc at a time.
 		conflictArcs := byVM[conflictVM]
+		if branchTrace != nil {
+			branchTrace(conflictVM, len(conflictArcs))
+		}
 		for keep := range conflictArcs {
 			for i, ai := range conflictArcs {
 				if i != keep {

@@ -154,15 +154,19 @@ func KMBWith(g *graph.Graph, terminals []graph.NodeID, opts *KMBOptions) (*Tree,
 		}
 	}
 
-	// MST of the expansion subgraph, then prune.
+	// MST of the expansion subgraph, then prune. The sets are collected
+	// into sorted slices first: Kruskal breaks equal-cost ties by edge
+	// order, so feeding it map order would let the runtime pick the tree.
 	subNodes := make([]graph.NodeID, 0, len(nodeSet))
 	for n := range nodeSet {
 		subNodes = append(subNodes, n)
 	}
+	sort.Slice(subNodes, func(i, j int) bool { return subNodes[i] < subNodes[j] })
 	subEdges := make([]graph.EdgeID, 0, len(edgeSet))
 	for e := range edgeSet {
 		subEdges = append(subEdges, e)
 	}
+	sort.Slice(subEdges, func(i, j int) bool { return subEdges[i] < subEdges[j] })
 	tree := mstOfSubgraph(g, subNodes, subEdges)
 	prune(g, tree, terminals)
 	normalize(tree)
