@@ -10,10 +10,13 @@ package sof_test
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
+	"sort"
 	"testing"
+	"time"
 
 	"sof"
 	"sof/internal/baseline"
@@ -430,4 +433,91 @@ func BenchmarkTable2QoE(b *testing.B) {
 			b.ReportMetric(rebuf/float64(runs), "rebuffer-sec")
 		})
 	}
+}
+
+// BenchmarkFailureRecovery measures the survivable-forest repair path
+// against re-embedding the damaged services from scratch under the same
+// failure state. The deterministic counters are the headline: fast-path
+// recoveries as a share of reattachments, and the oracle Dijkstra misses
+// repair needed versus what scratch re-embeds of the same requests cost —
+// grafting from the break point should re-derive far fewer trees.
+// p99-recovery-ms is wall clock and informational only.
+func BenchmarkFailureRecovery(b *testing.B) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 3})
+	snet := sof.FromGraph(net.G)
+	rng := rand.New(rand.NewSource(21))
+	reqs := make([]sof.Request, 8)
+	for i := range reqs {
+		reqs[i] = sof.Request{
+			Sources:      net.RandomNodes(rng, 2+rng.Intn(2)),
+			Destinations: net.RandomNodes(rng, 3+rng.Intn(2)),
+			ChainLength:  2,
+		}
+	}
+	ctx := context.Background()
+	var (
+		repairDij, scratchDij   float64
+		fastPath, reattached    float64
+		blast                   float64
+		repairCost, scratchCost float64
+		latencies               []time.Duration
+	)
+	for i := 0; i < b.N; i++ {
+		solver := sof.NewSolver(snet, sof.WithVMs(net.VMs...), sof.WithRecovery())
+		for _, req := range reqs {
+			if _, err := solver.Embed(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Sever half the forests at their deepest carried link (a leaf-side
+		// cut keeps the rest of the network routable, so repair has a
+		// fighting chance and the fast-path rate is meaningful).
+		for fi, f := range solver.LiveForests() {
+			if fi%2 != 0 {
+				continue
+			}
+			cf := f.Internal()
+			for id := cf.NumClones() - 1; id >= 0; id-- {
+				c := cf.Clone(core.CloneID(id))
+				if !cf.CloneDeleted(core.CloneID(id)) && c.ParentEdge != graph.NoEdge {
+					solver.FailLink(c.ParentEdge)
+					break
+				}
+			}
+		}
+		base := solver.CacheStats().Misses
+		start := time.Now()
+		rep, err := solver.RepairAll(ctx)
+		if err != nil && !errors.Is(err, sof.ErrUnrecoverable) {
+			b.Fatal(err)
+		}
+		latencies = append(latencies, time.Since(start))
+		repairDij += float64(solver.CacheStats().Misses - base)
+		fastPath += float64(rep.FastPath)
+		reattached += float64(rep.Reattached)
+		blast += float64(rep.ForestsTouched)
+		// Scratch baseline: a cold session re-embeds each touched forest's
+		// current request under the identical failure state.
+		scratch := sof.NewSolver(snet, sof.WithVMs(net.VMs...))
+		for _, fr := range rep.Forests {
+			repairCost += fr.Forest.TotalCost()
+			if sf, err := scratch.Embed(ctx, fr.Forest.Request()); err == nil {
+				scratchCost += sf.TotalCost()
+			}
+		}
+		scratchDij += float64(scratch.CacheStats().Misses)
+		solver.RestoreAllFailures()
+	}
+	n := float64(b.N)
+	b.ReportMetric(repairDij/n, "repair-dijkstras/op")
+	b.ReportMetric(scratchDij/n, "scratch-dijkstras/op")
+	if reattached > 0 {
+		b.ReportMetric(100*fastPath/reattached, "fastpath-%")
+	}
+	b.ReportMetric(blast/n, "blast-radius/op")
+	b.ReportMetric(repairCost/n, "repair-cost/op")
+	b.ReportMetric(scratchCost/n, "scratch-cost/op")
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[(len(latencies)*99+99)/100-1]
+	b.ReportMetric(float64(p99.Microseconds())/1e3, "p99-recovery-ms")
 }

@@ -8,6 +8,7 @@
 //	experiments -fig 12 -steps 30 # online accumulative cost
 //	experiments -table 1          # SOFDA runtime
 //	experiments -dist             # distributed vs centralized SOFDA (Section VI)
+//	experiments -failures -quick  # failure injection + recovery table
 //	experiments -dist -transport rpc  # same, over net/rpc loopback domains
 //	experiments -all -quick       # everything, reduced sizes
 package main
@@ -38,6 +39,8 @@ func main() {
 		runs        = flag.Int("runs", 3, "random requests averaged per data point")
 		steps       = flag.Int("steps", 30, "arrivals for Fig. 12")
 		distrib     = flag.Bool("dist", false, "distributed SOFDA comparison (Section VI)")
+		failures    = flag.Bool("failures", false, "failure recovery under live load (survivable forests)")
+		failEvents  = flag.Int("fail-events", 60, "failures injected per -failures run")
 		stream      = flag.Bool("stream", false, "with -dist: compare server-streamed fragment joins against batch joins (with -domain-addrs: use the streamed exchange)")
 		transport   = flag.String("transport", "inproc", "distributed transport: inproc (channel) or rpc (net/rpc over loopback)")
 		domainAddrs = flag.String("domain-addrs", "", "comma-separated addresses of running sofdomain processes; with -dist, embeds against them instead of spinning loopback servers")
@@ -138,6 +141,24 @@ func main() {
 		fmt.Println(exp.FormatTable2(rows))
 		return nil
 	})
+	if *all || *failures {
+		ran = true
+		kinds := []exp.NetKind{exp.NetSoftLayer, exp.NetCogent}
+		if *quick {
+			kinds = kinds[:1]
+		}
+		for _, kind := range kinds {
+			n, ev := *steps, *failEvents
+			if *quick {
+				n, ev = 15, 30
+			}
+			rows, err := exp.FailureTable(kind, n, ev)
+			if err != nil {
+				log.Fatalf("failure recovery (%s): %v", kind, err)
+			}
+			fmt.Println(exp.FormatFailureTable(kind, rows))
+		}
+	}
 	if *all || *distrib {
 		ran = true
 		if *domainAddrs != "" {

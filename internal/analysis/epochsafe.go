@@ -21,6 +21,18 @@ var costMutators = map[string]bool{
 	"SetLinkCost":     true, // sof.Network wrapper
 	"SetVMCost":       true, // sof.Network wrapper
 	"InvalidateCache": true, // chain.Oracle / dist.Cluster: thin epoch bump
+	// Failure injection changes the effective cost surface (failed elements
+	// price as unreachable) and bumps the epoch like any cost write.
+	"FailEdge":           true,
+	"FailNode":           true,
+	"RestoreEdge":        true,
+	"RestoreNode":        true,
+	"RestoreAll":         true,
+	"FailLink":           true, // sof.Solver wrappers
+	"FailVM":             true,
+	"RestoreLink":        true,
+	"RestoreVM":          true,
+	"RestoreAllFailures": true,
 }
 
 // EpochSafe flags cost-state writes that bypass the graph package's
@@ -33,9 +45,16 @@ var costMutators = map[string]bool{
 // state, would change costs without advancing the epoch — serving
 // bit-wrong cached trees. Likewise an epoch read before SetEdgeCost/
 // SetNodeCost/BumpCostEpoch names a cost surface that no longer exists.
+//
+// Failure state is under the same discipline: FailState snapshots are
+// immutable by contract (traversals read them lock-free through an atomic
+// pointer), so a write to a FailState's Edges/Nodes bitsets outside
+// package graph mutates a snapshot concurrent readers may hold and skips
+// the epoch bump FailEdge/FailNode/Restore* provide.
 var EpochSafe = &Analyzer{
 	Name: "epochsafe",
-	Doc: "graph cost state must change only through SetEdgeCost/SetNodeCost/BumpCostEpoch, " +
+	Doc: "graph cost and failure state must change only through the epoch-advancing " +
+		"setters (SetEdgeCost/SetNodeCost/BumpCostEpoch, FailEdge/FailNode/Restore*), " +
 		"and a captured CostEpoch value must not be reused across a mutation",
 	Run: runEpochSafe,
 }
@@ -57,21 +76,38 @@ func runEpochSafe(pass *Pass) error {
 }
 
 // checkCostWrites flags assignments and ++/-- on Cost fields of
-// graph.Node / graph.Edge values outside the graph package.
+// graph.Node / graph.Edge values, and on the Edges/Nodes failure bitsets
+// of a graph.FailState (whole-field or per-element), outside the graph
+// package.
 func checkCostWrites(pass *Pass, f *ast.File) {
 	flag := func(x ast.Expr) {
-		sel, ok := ast.Unparen(x).(*ast.SelectorExpr)
-		if !ok || sel.Sel.Name != "Cost" {
+		x = ast.Unparen(x)
+		// fs.Edges[i] = ... writes an element of the bitset; the offending
+		// selector is the index expression's base.
+		if ix, ok := x.(*ast.IndexExpr); ok {
+			x = ast.Unparen(ix.X)
+		}
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
 			return
 		}
 		t := pass.TypesInfo.Types[sel.X].Type
 		if t == nil {
 			return
 		}
-		if isNamedType(t, graphPkgPath, "Node") || isNamedType(t, graphPkgPath, "Edge") {
-			pass.Reportf(sel.Pos(),
-				"direct write to %s.Cost outside package graph: it mutates a copy and bypasses the cost epoch; use SetEdgeCost/SetNodeCost",
-				namedOrPointee(t).Obj().Name())
+		switch sel.Sel.Name {
+		case "Cost":
+			if isNamedType(t, graphPkgPath, "Node") || isNamedType(t, graphPkgPath, "Edge") {
+				pass.Reportf(sel.Pos(),
+					"direct write to %s.Cost outside package graph: it mutates a copy and bypasses the cost epoch; use SetEdgeCost/SetNodeCost",
+					namedOrPointee(t).Obj().Name())
+			}
+		case "Edges", "Nodes":
+			if isNamedType(t, graphPkgPath, "FailState") {
+				pass.Reportf(sel.Pos(),
+					"direct write to FailState.%s outside package graph: snapshots are immutable for lock-free readers and the write skips the epoch bump; use FailEdge/FailNode/RestoreEdge/RestoreNode/RestoreAll",
+					sel.Sel.Name)
+			}
 		}
 	}
 	ast.Inspect(f, func(n ast.Node) bool {

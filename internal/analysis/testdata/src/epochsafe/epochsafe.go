@@ -53,3 +53,54 @@ func epochNoMutation(g *graph.Graph) (uint64, float64) {
 	c := g.NodeCost(0)
 	return epoch, c
 }
+
+func directFailStateFieldWrite(fs *graph.FailState) {
+	fs.Edges = nil               // want "direct write to FailState.Edges outside package graph"
+	fs.Nodes = make([]uint64, 4) // want "direct write to FailState.Nodes outside package graph"
+}
+
+func directFailStateElementWrite(fs *graph.FailState) {
+	fs.Edges[0] |= 1 // want "direct write to FailState.Edges outside package graph"
+	fs.Nodes[2] = 0  // want "direct write to FailState.Nodes outside package graph"
+}
+
+func sanctionedFailureWrites(g *graph.Graph) {
+	g.FailEdge(0)
+	g.FailNode(1)
+	g.RestoreEdge(0)
+	g.RestoreNode(1)
+	g.RestoreAll()
+}
+
+func readFailStateIsFine(fs *graph.FailState) bool {
+	return fs.EdgeFailed(0) || len(fs.Edges) > 0
+}
+
+// unrelatedEdges proves the bitset check keys on the receiver type: an
+// Edges field elsewhere is untouched.
+type mesh struct{ Edges []uint64 }
+
+func unrelatedEdges(m *mesh) {
+	m.Edges = nil
+	m.Edges = append(m.Edges, 7)
+}
+
+func staleEpochAcrossFailure(g *graph.Graph) uint64 {
+	epoch := g.CostEpoch()
+	g.FailEdge(3)
+	return epoch // want "captured before a cost mutation is reused after it"
+}
+
+func staleEpochAcrossRestore(g *graph.Graph) uint64 {
+	epoch := g.CostEpoch()
+	g.RestoreAll()
+	return epoch // want "captured before a cost mutation is reused after it"
+}
+
+func epochRereadAfterFailureIsFine(g *graph.Graph) uint64 {
+	epoch := g.CostEpoch()
+	_ = epoch
+	g.FailNode(2)
+	epoch = g.CostEpoch()
+	return epoch
+}

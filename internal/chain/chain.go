@@ -446,14 +446,21 @@ func (o *Oracle) Chain(vms []graph.NodeID, s, u graph.NodeID, chainLen int) (*Se
 
 // solveChain is the uncached Chain computation: build the auxiliary
 // instance of Procedure 1, solve the k-stroll, materialize the walk.
+// Failed VMs are dropped from the candidate set (they can host nothing,
+// and keeping them would make every instance infeasible the moment one VM
+// dies: the instance build treats an unreachable candidate as an error).
 func (o *Oracle) solveChain(vms []graph.NodeID, s, u graph.NodeID, chainLen int) (*ServiceChain, error) {
 	if chainLen < 1 {
 		return nil, fmt.Errorf("chain: chain length %d < 1", chainLen)
 	}
+	fs := o.g.Failures()
+	if fs.NodeFailed(u) {
+		return nil, fmt.Errorf("chain: last VM %d is failed: %w", u, kstroll.ErrInfeasible)
+	}
 	cand := make([]graph.NodeID, 0, len(vms))
 	uIdx := -1
 	for _, v := range vms {
-		if v == s {
+		if v == s || fs.NodeFailed(v) {
 			continue
 		}
 		if v == u {
@@ -599,9 +606,12 @@ func (o *Oracle) Extension(vms []graph.NodeID, from, to graph.NodeID, nVMs int) 
 		}
 		return sc, nil
 	}
+	// Failed VMs cannot host the missing VNFs; drop them like solveChain
+	// does so one dead VM does not poison the whole extension instance.
+	fs := o.g.Failures()
 	cand := make([]graph.NodeID, 0, len(vms))
 	for _, v := range vms {
-		if v == from || v == to {
+		if v == from || v == to || fs.NodeFailed(v) {
 			continue
 		}
 		cand = append(cand, v)

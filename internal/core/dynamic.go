@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -30,13 +31,28 @@ func (f *Forest) Leave(d graph.NodeID) (float64, error) {
 // forest clone u it evaluates the extension walk from u to d installing
 // the VNFs still missing downstream of u, and grafts the cheapest one.
 // freeVMs are the VMs available for newly installed VNFs.
+//
+// When no attach plan exists, the returned error aggregates (errors.Join)
+// the per-clone causes, so callers can tell "no feasible graft" (every
+// Extension was infeasible or disconnected) from "forest metadata corrupt"
+// (vnfProgress found out-of-order VNFs) — the latter is named explicitly
+// in the message.
 func (f *Forest) Join(oracle *chain.Oracle, freeVMs []graph.NodeID, d graph.NodeID) (float64, error) {
+	return f.join(oracle, freeVMs, d, math.Inf(1))
+}
+
+// join is Join with a graft budget: a cheapest plan whose extension cost
+// exceeds budget is rejected with ErrOverBudget before any mutation, which
+// is what lets Repair bound the fast path and fall back to a full
+// re-embed instead of paying an arbitrarily bad graft.
+func (f *Forest) join(oracle *chain.Oracle, freeVMs []graph.NodeID, d graph.NodeID, budget float64) (float64, error) {
 	if _, ok := f.dests[d]; ok {
 		return 0, fmt.Errorf("core: destination %d already served", d)
 	}
 	type attachPlan struct {
-		clone CloneID
-		ext   *chain.ServiceChain
+		clone    CloneID
+		progress int
+		ext      *chain.ServiceChain
 	}
 	var best *attachPlan
 	bestCost := math.Inf(1)
@@ -47,6 +63,7 @@ func (f *Forest) Join(oracle *chain.Oracle, freeVMs []graph.NodeID, d graph.Node
 			avail = append(avail, v)
 		}
 	}
+	var metaErrs, extErrs []error
 	for id := range f.clones {
 		c := CloneID(id)
 		if f.clones[c].deleted {
@@ -54,39 +71,64 @@ func (f *Forest) Join(oracle *chain.Oracle, freeVMs []graph.NodeID, d graph.Node
 		}
 		progress, err := f.vnfProgress(c)
 		if err != nil {
+			metaErrs = append(metaErrs, fmt.Errorf("clone %d: %w", c, err))
 			continue
 		}
 		remaining := f.chainLen - progress
 		ext, err := oracle.Extension(avail, f.clones[c].Node, d, remaining)
 		if err != nil {
+			extErrs = append(extErrs, fmt.Errorf("clone %d (node %d): %w", c, f.clones[c].Node, err))
 			continue
 		}
 		if ext.TotalCost() < bestCost {
 			bestCost = ext.TotalCost()
-			best = &attachPlan{clone: c, ext: ext}
+			best = &attachPlan{clone: c, progress: progress, ext: ext}
 		}
 	}
 	if best == nil {
-		return 0, fmt.Errorf("core: no feasible join point for destination %d", d)
-	}
-	before := f.TotalCost()
-	cur := best.clone
-	vmIdx := 0
-	progress, _ := f.vnfProgress(best.clone)
-	for i := 1; i < len(best.ext.Nodes); i++ {
-		cur = f.appendClone(cur, best.ext.Nodes[i], best.ext.Edges[i-1])
-		if vmIdx < len(best.ext.VMPos) && best.ext.VMPos[vmIdx] == i {
-			if err := f.enable(cur, progress+vmIdx+1); err != nil {
-				return 0, err
-			}
-			vmIdx++
+		joined := errors.Join(append(metaErrs, extErrs...)...)
+		switch {
+		case len(metaErrs) > 0:
+			return 0, fmt.Errorf("core: no attach plan for destination %d and %d clone(s) with corrupt metadata: %w",
+				d, len(metaErrs), joined)
+		case joined != nil:
+			return 0, fmt.Errorf("core: no feasible join point for destination %d: %w", d, joined)
+		default:
+			return 0, fmt.Errorf("core: no feasible join point for destination %d (forest has no live clones)", d)
 		}
 	}
-	f.MarkDestination(d, cur)
+	if bestCost > budget {
+		return 0, fmt.Errorf("core: cheapest graft for destination %d costs %.6g, budget %.6g: %w",
+			d, bestCost, budget, ErrOverBudget)
+	}
+	before := f.TotalCost()
+	last, err := f.graftWalk(best.clone, best.ext, best.progress)
+	if err != nil {
+		return 0, err
+	}
+	f.MarkDestination(d, last)
 	if err := f.checkDest(d); err != nil {
 		return 0, err
 	}
 	return f.TotalCost() - before, nil
+}
+
+// graftWalk appends ext's walk under anchor clone by clone, enabling
+// ext's VMs with chain indices baseVNF+1, baseVNF+2, …; it returns the
+// final clone of the walk (the one serving a joined destination).
+func (f *Forest) graftWalk(anchor CloneID, ext *chain.ServiceChain, baseVNF int) (CloneID, error) {
+	cur := anchor
+	vmIdx := 0
+	for i := 1; i < len(ext.Nodes); i++ {
+		cur = f.appendClone(cur, ext.Nodes[i], ext.Edges[i-1])
+		if vmIdx < len(ext.VMPos) && ext.VMPos[vmIdx] == i {
+			if err := f.enable(cur, baseVNF+vmIdx+1); err != nil {
+				return NoClone, err
+			}
+			vmIdx++
+		}
+	}
+	return cur, nil
 }
 
 // checkDest validates a single destination's chain.
@@ -267,8 +309,15 @@ func (f *Forest) InsertVNF(oracle *chain.Oracle, freeVMs []graph.NodeID, j int) 
 // RerouteCongestedEdge re-connects every clone whose parent edge is e using
 // the current shortest path (Section VII-C case 5); callers update edge
 // costs first (e.g. via the Fortz–Thorup tracker).
+//
+// A clone whose reroute fails (typically ErrDisconnected after a failure)
+// is left on its old parent edge; the sweep continues to the remaining
+// clones and the per-clone causes come back joined (errors.Join) alongside
+// the count of clones that did move, so callers see partial progress
+// instead of an all-or-nothing abort.
 func (f *Forest) RerouteCongestedEdge(oracle *chain.Oracle, e graph.EdgeID) (int, error) {
 	rerouted := 0
+	var errs []error
 	for id := range f.clones {
 		c := CloneID(id)
 		cl := f.clones[c]
@@ -278,7 +327,8 @@ func (f *Forest) RerouteCongestedEdge(oracle *chain.Oracle, e graph.EdgeID) (int
 		from := f.clones[cl.Parent].Node
 		nodes, edges, _, err := oracle.Path(from, cl.Node)
 		if err != nil {
-			return rerouted, err
+			errs = append(errs, fmt.Errorf("clone %d (node %d): %w", c, cl.Node, err))
+			continue
 		}
 		if len(nodes) < 2 {
 			continue
@@ -291,7 +341,7 @@ func (f *Forest) RerouteCongestedEdge(oracle *chain.Oracle, e graph.EdgeID) (int
 		f.clones[c].ParentEdge = edges[len(edges)-1]
 		rerouted++
 	}
-	return rerouted, nil
+	return rerouted, errors.Join(errs...)
 }
 
 // MigrateOverloadedVM moves the VNF hosted on VM v to a fresh VM
@@ -313,6 +363,12 @@ func (f *Forest) MigrateOverloadedVM(oracle *chain.Oracle, freeVMs []graph.NodeI
 	bestCost := math.Inf(1)
 	for _, w := range freeVMs {
 		if _, used := f.owner[w]; used || w == v {
+			continue
+		}
+		// Never migrate onto a failed VM: the oracle would report it
+		// unreachable anyway, but checking here keeps the error crisp and
+		// skips the path queries.
+		if f.g.NodeFailed(w) {
 			continue
 		}
 		cost := f.g.NodeCost(w)

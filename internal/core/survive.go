@@ -1,0 +1,375 @@
+package core
+
+// Survivability: damage detection and repair after network failures.
+//
+// Failures live in the graph layer as a copy-on-write snapshot
+// (graph.FailEdge / graph.FailNode); the forest's clone structure is NOT
+// mutated by a failure. Damage walks the clone trees against the current
+// snapshot to find the destinations whose root paths cross a failed
+// element, and Repair re-attaches them: first from a pre-planned backup
+// graft (PlanBackups), then via the cheapest live join point (the same
+// machinery as the Section VII-C Join operation), bounded by an optional
+// cost budget so a caller can prefer a full re-embed over a pathological
+// graft.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sof/internal/chain"
+	"sof/internal/graph"
+)
+
+// ErrOverBudget is returned (wrapped) when the cheapest feasible graft for
+// a destination exceeds the caller's repair budget. The forest is not
+// mutated in that case; the caller decides between raising the budget and
+// re-embedding from scratch.
+var ErrOverBudget = errors.New("core: graft cost over budget")
+
+// Damage describes the effect of the graph's current failure state on one
+// forest.
+type Damage struct {
+	// Orphans lists the severed destinations, sorted. A destination is
+	// severed when any clone on its root path sits on a failed node or
+	// hangs off a failed parent edge (the destination node itself
+	// included).
+	Orphans []graph.NodeID
+	// BreakAt maps each orphan to the last healthy clone above its
+	// topmost break — the natural re-attach anchor — or NoClone when the
+	// break is at the tree root itself.
+	BreakAt map[graph.NodeID]CloneID
+	// LostVNFs counts enabled VNF clones inside severed subtrees; their
+	// VMs become free again once the severed subtrees are pruned.
+	LostVNFs int
+}
+
+// Broken reports whether any destination was severed.
+func (d *Damage) Broken() bool { return len(d.Orphans) > 0 }
+
+// brokenClone reports whether clone cl is directly hit by the failure
+// snapshot: its node failed, or its uplink edge failed.
+func brokenClone(fs *graph.FailState, cl *Clone) bool {
+	return fs.NodeFailed(cl.Node) ||
+		(cl.ParentEdge != graph.NoEdge && fs.EdgeFailed(cl.ParentEdge))
+}
+
+// severedSet classifies every live clone as severed (below or at a break)
+// or alive, memoized along parent chains so the whole forest costs O(clones).
+func (f *Forest) severedSet(fs *graph.FailState) []bool {
+	const (
+		unknown = iota
+		alive
+		cut
+	)
+	state := make([]uint8, len(f.clones))
+	var stack []CloneID
+	for id := range f.clones {
+		if f.clones[id].deleted || state[id] != unknown {
+			continue
+		}
+		stack = stack[:0]
+		verdict := uint8(alive)
+		for cur := CloneID(id); cur != NoClone; cur = f.clones[cur].Parent {
+			if state[cur] != unknown {
+				verdict = state[cur]
+				break
+			}
+			stack = append(stack, cur)
+			if brokenClone(fs, &f.clones[cur]) {
+				verdict = cut
+				break
+			}
+		}
+		// Everything walked sits at or below the stopping point, so it
+		// shares the verdict: below a break → cut, under a memoized
+		// ancestor → that ancestor's class, clean to the root → alive.
+		for _, c := range stack {
+			state[c] = verdict
+		}
+	}
+	out := make([]bool, len(f.clones))
+	for id, s := range state {
+		out[id] = s == cut
+	}
+	return out
+}
+
+// Damage computes the forest's damage under the graph's current failure
+// snapshot. It does not mutate the forest; with no failures present it
+// returns an empty (non-broken) Damage.
+func (f *Forest) Damage() *Damage {
+	dmg := &Damage{BreakAt: make(map[graph.NodeID]CloneID)}
+	fs := f.g.Failures()
+	if fs == nil {
+		return dmg
+	}
+	for d, c := range f.dests {
+		path := f.PathToRoot(c) // dest clone first, root last
+		breakIdx := -1
+		for i := len(path) - 1; i >= 0; i-- { // root → dest
+			if brokenClone(fs, &f.clones[path[i]]) {
+				breakIdx = i
+				break
+			}
+		}
+		if breakIdx < 0 {
+			continue
+		}
+		dmg.Orphans = append(dmg.Orphans, d)
+		if breakIdx == len(path)-1 {
+			dmg.BreakAt[d] = NoClone
+		} else {
+			dmg.BreakAt[d] = path[breakIdx+1]
+		}
+	}
+	sort.Slice(dmg.Orphans, func(i, j int) bool { return dmg.Orphans[i] < dmg.Orphans[j] })
+	sev := f.severedSet(fs)
+	for id := range f.clones {
+		if !f.clones[id].deleted && f.clones[id].VNF != 0 && sev[id] {
+			dmg.LostVNFs++
+		}
+	}
+	return dmg
+}
+
+// RepairOptions tunes Repair.
+type RepairOptions struct {
+	// Budget caps the graft cost accepted for any single destination on
+	// the fast path; a dearer cheapest-graft fails that destination with
+	// ErrOverBudget. Zero or negative means unbounded.
+	Budget float64
+}
+
+// RepairFailure records one destination Repair could not re-attach and why.
+type RepairFailure struct {
+	Dest graph.NodeID
+	Err  error
+}
+
+// RepairReport summarizes a Repair run.
+type RepairReport struct {
+	// Orphans is the number of severed destinations found.
+	Orphans int
+	// Reattached counts destinations re-attached (backup hits included).
+	Reattached int
+	// BackupHits counts re-attachments served from a PlanBackups plan.
+	BackupHits int
+	// CostDelta is the forest cost after repair minus the cost before the
+	// failure (a damaged forest's cost equals its pre-failure cost, since
+	// costs are structural). Pruned dead weight can make it negative.
+	CostDelta float64
+	// Failed lists destinations that could not be re-attached, sorted by
+	// destination; the caller escalates these (re-embed or surface).
+	Failed []RepairFailure
+}
+
+// Repair re-attaches every severed destination it can. The severed
+// subtrees are detached and pruned first — freeing their VMs for reuse —
+// then each orphan is re-attached via its backup plan if one validates, or
+// else grafted at the cheapest live join point within opts.Budget. Every
+// re-attached destination is feasibility-checked (full chain, in order).
+//
+// Orphans that cannot be re-attached (failed destination node, no feasible
+// graft, over budget) are returned in RepairReport.Failed — never silently
+// dropped — and the forest keeps serving all healthy destinations. The
+// error return is non-nil only when the forest itself is corrupt.
+func (f *Forest) Repair(oracle *chain.Oracle, freeVMs []graph.NodeID, opts *RepairOptions) (*RepairReport, error) {
+	dmg := f.Damage()
+	rep := &RepairReport{Orphans: len(dmg.Orphans)}
+	if !dmg.Broken() {
+		return rep, nil
+	}
+	budget := math.Inf(1)
+	if opts != nil && opts.Budget > 0 {
+		budget = opts.Budget
+	}
+	before := f.TotalCost()
+	fs := f.g.Failures()
+	// Remember the healthy source roots: if pruning deletes a root whose
+	// every destination was severed, a fresh root clone of the same source
+	// re-seeds the graft search (otherwise a fully-severed forest would
+	// have no live clone to anchor a join).
+	rootNodes := make(map[graph.NodeID]bool)
+	for _, r := range f.roots {
+		if !f.clones[r].deleted && !fs.NodeFailed(f.clones[r].Node) {
+			rootNodes[f.clones[r].Node] = true
+		}
+	}
+	// Detach the orphans and prune: severed subtrees serve nobody now, so
+	// pruning deletes them and releases their VMs (disable clears owner).
+	for _, d := range dmg.Orphans {
+		delete(f.dests, d)
+	}
+	f.Prune()
+	for _, r := range f.roots {
+		if !f.clones[r].deleted {
+			delete(rootNodes, f.clones[r].Node)
+		}
+	}
+	reseed := make([]graph.NodeID, 0, len(rootNodes))
+	for n := range rootNodes {
+		reseed = append(reseed, n)
+	}
+	sort.Slice(reseed, func(i, j int) bool { return reseed[i] < reseed[j] })
+	for _, n := range reseed {
+		f.newRoot(n)
+	}
+	for _, d := range dmg.Orphans {
+		if fs.NodeFailed(d) {
+			rep.Failed = append(rep.Failed, RepairFailure{
+				Dest: d,
+				Err:  fmt.Errorf("core: destination node %d itself failed", d),
+			})
+			continue
+		}
+		if f.tryBackup(d, fs) {
+			rep.Reattached++
+			rep.BackupHits++
+			continue
+		}
+		if _, err := f.join(oracle, freeVMs, d, budget); err != nil {
+			rep.Failed = append(rep.Failed, RepairFailure{Dest: d, Err: err})
+			continue
+		}
+		rep.Reattached++
+	}
+	// A graft that died halfway (enable error) leaves dead-leaf clones;
+	// prune reclaims them before the final cost accounting.
+	f.Prune()
+	rep.CostDelta = f.TotalCost() - before
+	return rep, nil
+}
+
+// JoinWithBudget is Join bounded by the repair budget (see RepairOptions):
+// it rejects a cheapest graft dearer than budget with ErrOverBudget before
+// any mutation. Repair retries and the solver's recovery sweep use it to
+// re-attempt individual orphans without re-running damage detection.
+func (f *Forest) JoinWithBudget(oracle *chain.Oracle, freeVMs []graph.NodeID, d graph.NodeID, budget float64) (float64, error) {
+	if budget <= 0 {
+		budget = math.Inf(1)
+	}
+	return f.join(oracle, freeVMs, d, budget)
+}
+
+// backupPlan is a pre-computed standby graft for one destination: an
+// anchor clone plus the extension walk to replay under it. Plans are
+// validated cheaply at repair time (anchor alive, progress unchanged, no
+// failed elements on the walk, VMs still free) and consumed on use.
+type backupPlan struct {
+	anchor   CloneID
+	progress int
+	ext      *chain.ServiceChain
+}
+
+// PlanBackups pre-computes standby attach plans for the given critical
+// destinations. Each plan anchors at a live clone OFF the destination's
+// current serving path, so a failure that severs the primary path tends to
+// leave the backup intact; plans avoid VMs the forest already uses but may
+// share spare VMs with each other — conflicts surface at repair time, when
+// a stale plan simply falls back to the normal graft search.
+//
+// It returns how many plans were stored; the error joins the per-dest
+// reasons for destinations that got none (not served, or no off-path
+// anchor reaches them) and is advisory — planning is best-effort.
+func (f *Forest) PlanBackups(oracle *chain.Oracle, freeVMs []graph.NodeID, critical []graph.NodeID) (int, error) {
+	if f.backups == nil {
+		f.backups = make(map[graph.NodeID]backupPlan)
+	}
+	avail := make([]graph.NodeID, 0, len(freeVMs))
+	for _, v := range freeVMs {
+		if _, used := f.owner[v]; !used {
+			avail = append(avail, v)
+		}
+	}
+	planned := 0
+	var errs []error
+	for _, d := range critical {
+		serving, ok := f.dests[d]
+		if !ok {
+			errs = append(errs, fmt.Errorf("destination %d not served", d))
+			continue
+		}
+		onPath := make(map[CloneID]bool)
+		for _, c := range f.PathToRoot(serving) {
+			onPath[c] = true
+		}
+		var best *backupPlan
+		bestCost := math.Inf(1)
+		for id := range f.clones {
+			c := CloneID(id)
+			if f.clones[c].deleted || onPath[c] {
+				continue
+			}
+			progress, err := f.vnfProgress(c)
+			if err != nil {
+				continue
+			}
+			ext, err := oracle.Extension(avail, f.clones[c].Node, d, f.chainLen-progress)
+			if err != nil {
+				continue
+			}
+			if ext.TotalCost() < bestCost {
+				bestCost = ext.TotalCost()
+				best = &backupPlan{anchor: c, progress: progress, ext: ext}
+			}
+		}
+		if best == nil {
+			errs = append(errs, fmt.Errorf("destination %d: no off-path backup anchor", d))
+			continue
+		}
+		f.backups[d] = *best
+		planned++
+	}
+	return planned, errors.Join(errs...)
+}
+
+// HasBackup reports whether destination d has a stored backup plan.
+func (f *Forest) HasBackup(d graph.NodeID) bool {
+	_, ok := f.backups[d]
+	return ok
+}
+
+// tryBackup attempts to re-attach orphan d from its stored backup plan.
+// It revalidates the plan against the live forest and failure snapshot and
+// reports whether the graft succeeded; a stale or infeasible plan is
+// dropped so the caller falls through to the normal join search.
+func (f *Forest) tryBackup(d graph.NodeID, fs *graph.FailState) bool {
+	plan, ok := f.backups[d]
+	if !ok {
+		return false
+	}
+	if int(plan.anchor) >= len(f.clones) || f.clones[plan.anchor].deleted {
+		return false
+	}
+	if got, err := f.vnfProgress(plan.anchor); err != nil || got != plan.progress {
+		return false
+	}
+	for _, e := range plan.ext.Edges {
+		if e != graph.NoEdge && fs.EdgeFailed(e) {
+			return false
+		}
+	}
+	for _, n := range plan.ext.Nodes {
+		if fs.NodeFailed(n) {
+			return false
+		}
+	}
+	for _, vm := range plan.ext.VMs {
+		if _, used := f.owner[vm]; used {
+			return false
+		}
+	}
+	last, err := f.graftWalk(plan.anchor, plan.ext, plan.progress)
+	if err != nil {
+		return false
+	}
+	f.MarkDestination(d, last)
+	if err := f.checkDest(d); err != nil {
+		delete(f.dests, d)
+		return false
+	}
+	delete(f.backups, d)
+	return true
+}

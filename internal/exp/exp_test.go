@@ -135,3 +135,25 @@ func TestFig7(t *testing.T) {
 		prev = r.Values["cost"]
 	}
 }
+
+func TestFailureTableSoftLayer(t *testing.T) {
+	rows, err := FailureTable(NetSoftLayer, 12, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Failures == 0 {
+			t.Fatalf("row vm-share=%.2f injected no failures", r.VMShare)
+		}
+		if r.FastPath+r.Unrecoverable > r.Orphans {
+			t.Fatalf("tier counters exceed orphans: %+v", r)
+		}
+	}
+	out := FormatFailureTable(NetSoftLayer, rows)
+	if out == "" || len(rows) == 0 {
+		t.Fatal("empty table")
+	}
+}

@@ -195,12 +195,19 @@ func DijkstraBatch(g *Graph, sources []NodeID, a *Arena) []*ShortestPaths {
 }
 
 // dijkstraHeap is the indexed-heap SSSP core: it fills sp (whose Source
-// and result arrays the caller prepared) in place.
+// and result arrays the caller prepared) in place. Failed elements are
+// skipped: no relaxation crosses a failed edge or enters a failed node,
+// and a failed source yields an all-unreachable tree (its own distance
+// included — a dead node reaches nothing, not even itself).
 func dijkstraHeap(g *Graph, c *csrLayout, a *Arena, sp *ShortestPaths) {
 	for i := range sp.Dist {
 		sp.Dist[i] = math.Inf(1)
 		sp.Parent[i] = None
 		sp.ParentEdge[i] = NoEdge
+	}
+	fs := g.fail.snap.Load()
+	if fs.NodeFailed(sp.Source) {
+		return
 	}
 	sp.Dist[sp.Source] = 0
 	a.gen++
@@ -213,6 +220,9 @@ func dijkstraHeap(g *Graph, c *csrLayout, a *Arena, sp *ShortestPaths) {
 		for i := c.row[u]; i < c.row[u+1]; i++ {
 			v := c.to[i]
 			if done[v] == gen {
+				continue
+			}
+			if fs != nil && (fs.EdgeFailed(EdgeID(c.eid[i])) || fs.NodeFailed(NodeID(v))) {
 				continue
 			}
 			nd := du + g.edges[c.eid[i]].Cost
@@ -236,6 +246,10 @@ func dijkstraBucket(g *Graph, c *csrLayout, a *Arena, sp *ShortestPaths) {
 		sp.Parent[i] = None
 		sp.ParentEdge[i] = NoEdge
 	}
+	fs := g.fail.snap.Load()
+	if fs.NodeFailed(sp.Source) {
+		return
+	}
 	sp.Dist[sp.Source] = 0
 	a.gen++
 	gen, done := a.gen, a.done
@@ -247,6 +261,9 @@ func dijkstraBucket(g *Graph, c *csrLayout, a *Arena, sp *ShortestPaths) {
 		for i := c.row[u]; i < c.row[u+1]; i++ {
 			v := c.to[i]
 			if done[v] == gen {
+				continue
+			}
+			if fs != nil && (fs.EdgeFailed(EdgeID(c.eid[i])) || fs.NodeFailed(NodeID(v))) {
 				continue
 			}
 			nd := du + g.edges[c.eid[i]].Cost
@@ -284,11 +301,18 @@ func BellmanFord(g *Graph, src NodeID) *ShortestPaths {
 		sp.Parent[i] = None
 		sp.ParentEdge[i] = NoEdge
 	}
+	fs := g.fail.snap.Load()
+	if fs.NodeFailed(src) {
+		return sp
+	}
 	sp.Dist[src] = 0
 	for iter := 0; iter < n; iter++ {
 		changed := false
 		for id := 0; id < g.NumEdges(); id++ {
 			e := g.Edge(EdgeID(id))
+			if fs != nil && (fs.EdgeFailed(EdgeID(id)) || fs.NodeFailed(e.U) || fs.NodeFailed(e.V)) {
+				continue
+			}
 			if sp.Dist[e.U]+e.Cost < sp.Dist[e.V] {
 				sp.Dist[e.V] = sp.Dist[e.U] + e.Cost
 				sp.Parent[e.V] = e.U

@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// Failure state: links and nodes can be marked failed without structural
+// deletion. Failed elements are skipped by every shortest-path traversal
+// (a failed element effectively costs +Inf), so forests embedded after a
+// failure never cross it, while Restore merely clears the mark — no
+// adjacency rebuild in either direction. Every transition advances the
+// cost epoch: a failure changes the effective cost surface exactly like a
+// SetEdgeCost, so epoch-keyed caches (oracle trees, solved chains) go
+// stale lazily and the next query re-routes around the failure.
+//
+// Snapshots are copy-on-write: readers load one immutable *FailState per
+// traversal and never observe a half-applied transition, which is what
+// lets repair sweeps run concurrently with live embeds under the race
+// detector.
+
+// FailState is an immutable snapshot of the failed elements of a Graph.
+// The zero/nil state means nothing has failed.
+type FailState struct {
+	// Edges and Nodes are failure bitsets indexed by id (bit id%64 of
+	// word id/64). They are exported for the traversal hot loops and for
+	// read-only consumers (damage detection, blast-radius reporting);
+	// mutate failure state only through Graph.FailEdge/FailNode/
+	// RestoreEdge/RestoreNode — the sofvet epochsafe pass flags direct
+	// writes outside package graph, which would bypass the cost epoch.
+	Edges []uint64
+	Nodes []uint64
+}
+
+// bitGet reports bit i of bits, treating out-of-range as unset.
+func bitGet(bits []uint64, i int) bool {
+	w := i >> 6
+	return w < len(bits) && bits[w]&(1<<(uint(i)&63)) != 0
+}
+
+// EdgeFailed reports whether edge id is failed. A nil receiver (no
+// failures ever) reports false.
+func (s *FailState) EdgeFailed(id EdgeID) bool {
+	return s != nil && bitGet(s.Edges, int(id))
+}
+
+// NodeFailed reports whether node id is failed. A nil receiver reports
+// false.
+func (s *FailState) NodeFailed(id NodeID) bool {
+	return s != nil && bitGet(s.Nodes, int(id))
+}
+
+// Counts returns the number of failed edges and nodes.
+func (s *FailState) Counts() (edges, nodes int) {
+	if s == nil {
+		return 0, 0
+	}
+	for _, w := range s.Edges {
+		edges += bits.OnesCount64(w)
+	}
+	for _, w := range s.Nodes {
+		nodes += bits.OnesCount64(w)
+	}
+	return edges, nodes
+}
+
+// FailedEdges lists the failed edge ids in ascending order.
+func (s *FailState) FailedEdges() []EdgeID {
+	if s == nil {
+		return nil
+	}
+	var out []EdgeID
+	for w, word := range s.Edges {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, EdgeID(w*64+b))
+			word &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// FailedNodes lists the failed node ids in ascending order.
+func (s *FailState) FailedNodes() []NodeID {
+	if s == nil {
+		return nil
+	}
+	var out []NodeID
+	for w, word := range s.Nodes {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, NodeID(w*64+b))
+			word &^= 1 << uint(b)
+		}
+	}
+	return out
+}
+
+// failSet is the mutable half of the copy-on-write scheme: writers
+// serialize on failMu, build a fresh snapshot, and publish it atomically.
+type failStore struct {
+	mu   sync.Mutex
+	snap atomic.Pointer[FailState]
+}
+
+// Failures returns the current failure snapshot, nil when nothing is
+// failed. The snapshot is immutable and safe to read concurrently with
+// later Fail/Restore calls (which publish fresh snapshots).
+func (g *Graph) Failures() *FailState { return g.fail.snap.Load() }
+
+// EdgeFailed reports whether edge id is currently failed.
+func (g *Graph) EdgeFailed(id EdgeID) bool { return g.fail.snap.Load().EdgeFailed(id) }
+
+// NodeFailed reports whether node id is currently failed.
+func (g *Graph) NodeFailed(id NodeID) bool { return g.fail.snap.Load().NodeFailed(id) }
+
+// setFailBit publishes a snapshot with bit i of the chosen bitset set to
+// val, reporting whether the state actually changed. Only actual changes
+// advance the cost epoch, mirroring SetEdgeCost's no-op discipline.
+func (g *Graph) setFailBit(edge bool, i, size int, val bool) bool {
+	g.fail.mu.Lock()
+	defer g.fail.mu.Unlock()
+	old := g.fail.snap.Load()
+	var cur []uint64
+	if old != nil {
+		if edge {
+			cur = old.Edges
+		} else {
+			cur = old.Nodes
+		}
+	}
+	if bitGet(cur, i) == val {
+		return false
+	}
+	words := (size + 63) / 64
+	next := make([]uint64, words)
+	copy(next, cur)
+	if val {
+		next[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		next[i>>6] &^= 1 << (uint(i) & 63)
+	}
+	ns := &FailState{}
+	if old != nil {
+		ns.Edges, ns.Nodes = old.Edges, old.Nodes
+	}
+	if edge {
+		ns.Edges = next
+	} else {
+		ns.Nodes = next
+	}
+	g.fail.snap.Store(ns)
+	g.epoch.Add(1)
+	return true
+}
+
+// FailEdge marks edge id failed: every traversal from now on routes around
+// it. It reports whether the state changed (failing an already-failed edge
+// is a no-op that keeps caches warm). The cost epoch advances on change.
+func (g *Graph) FailEdge(id EdgeID) bool {
+	if !g.ValidEdge(id) {
+		return false
+	}
+	return g.setFailBit(true, int(id), len(g.edges), true)
+}
+
+// FailNode marks node id failed: traversals neither enter nor leave it,
+// and a failed VM hosts no new VNFs. Reports whether the state changed.
+func (g *Graph) FailNode(id NodeID) bool {
+	if !g.Valid(id) {
+		return false
+	}
+	return g.setFailBit(false, int(id), len(g.nodes), true)
+}
+
+// RestoreEdge clears the failure mark on edge id — O(1) beyond the
+// snapshot copy; no structure was deleted, so nothing is rebuilt. Reports
+// whether the state changed.
+func (g *Graph) RestoreEdge(id EdgeID) bool {
+	if !g.ValidEdge(id) {
+		return false
+	}
+	return g.setFailBit(true, int(id), len(g.edges), false)
+}
+
+// RestoreNode clears the failure mark on node id.
+func (g *Graph) RestoreNode(id NodeID) bool {
+	if !g.Valid(id) {
+		return false
+	}
+	return g.setFailBit(false, int(id), len(g.nodes), false)
+}
+
+// RestoreAll clears every failure mark, returning how many edges and nodes
+// were restored. The epoch advances once when anything changed.
+func (g *Graph) RestoreAll() (edges, nodes int) {
+	g.fail.mu.Lock()
+	defer g.fail.mu.Unlock()
+	old := g.fail.snap.Load()
+	edges, nodes = old.Counts()
+	if edges == 0 && nodes == 0 {
+		return 0, 0
+	}
+	g.fail.snap.Store(nil)
+	g.epoch.Add(1)
+	return edges, nodes
+}

@@ -102,6 +102,10 @@ type Graph struct {
 	// rescanning the edge table each time would tax exactly the large
 	// graphs the queue exists for.
 	maxCostCache atomic.Pointer[maxCostEntry]
+	// fail holds the copy-on-write failed-element snapshot (see fail.go);
+	// a nil snapshot means nothing has failed, which is the steady state
+	// the traversal hot loops are optimized for.
+	fail failStore
 }
 
 // maxCostEntry is one memoized maximum-edge-cost computation, valid while
@@ -300,6 +304,9 @@ func (g *Graph) Clone() *Graph {
 		out.adj[i] = append([]Arc(nil), a...)
 	}
 	out.epoch.Store(g.epoch.Load())
+	// Failure snapshots are immutable, so the clone can share the current
+	// one; its own Fail/Restore calls publish fresh snapshots.
+	out.fail.snap.Store(g.fail.snap.Load())
 	return out
 }
 

@@ -1,0 +1,264 @@
+package online
+
+// Failure injection for the online scenario: a seeded schedule of link/VM
+// failures (and restores) interleaved with the arrival stream. Events fire
+// before the arrival of their step; every failure triggers a recovery
+// sweep through the session (sof.Solver.RepairAll), with the damaged
+// forests' load released during repair and re-applied for whatever shape
+// they come back in — repaired routes are priced like any other traffic.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"time"
+
+	"sof"
+	"sof/internal/core"
+	"sof/internal/graph"
+	"sof/internal/topology"
+)
+
+// FailureEvent is one scheduled element failure or restore. Exactly one of
+// Link and VM identifies the element: Link when Link != graph.NoEdge, VM
+// otherwise.
+type FailureEvent struct {
+	// Step is the 1-based arrival step before which the event fires;
+	// events at step 1 hit the unloaded network.
+	Step    int
+	Restore bool
+	Link    graph.EdgeID
+	VM      graph.NodeID
+}
+
+// FailureConfig parameterizes a seeded failure schedule.
+type FailureConfig struct {
+	// Events is the number of failure injections.
+	Events int
+	// VMShare is the fraction of events that hit a VM instead of a link.
+	VMShare float64
+	// Downtime is the number of steps after which a failed element is
+	// restored; 0 means failures are permanent for the run.
+	Downtime int
+	Seed     int64
+}
+
+// FailureSchedule draws a seeded schedule of cfg.Events failures over a
+// run of the given number of steps, each paired with a restore Downtime
+// steps later when configured. The result is sorted by step with failures
+// before restores within a step, so replays are deterministic.
+func FailureSchedule(net *topology.Network, steps int, cfg FailureConfig) []FailureEvent {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	events := make([]FailureEvent, 0, 2*cfg.Events)
+	for i := 0; i < cfg.Events; i++ {
+		ev := FailureEvent{Step: 1 + rng.Intn(steps), Link: graph.NoEdge, VM: graph.None}
+		if rng.Float64() < cfg.VMShare && len(net.VMs) > 0 {
+			ev.VM = net.VMs[rng.Intn(len(net.VMs))]
+		} else {
+			ev.Link = graph.EdgeID(rng.Intn(net.G.NumEdges()))
+		}
+		events = append(events, ev)
+		if cfg.Downtime > 0 {
+			r := ev
+			r.Step += cfg.Downtime
+			r.Restore = true
+			events = append(events, r)
+		}
+	}
+	sortFailureEvents(events)
+	return events
+}
+
+// sortFailureEvents orders a schedule for replay: by step, failures before
+// restores within one step (so a fail+restore pair landing together still
+// exercises the failure).
+func sortFailureEvents(events []FailureEvent) {
+	sort.SliceStable(events, func(i, j int) bool {
+		if events[i].Step != events[j].Step {
+			return events[i].Step < events[j].Step
+		}
+		return !events[i].Restore && events[j].Restore
+	})
+}
+
+// SetFailureSchedule installs a failure schedule on the simulator and
+// turns on forest tracking in its Solver session (sof.WithRecovery), so
+// subsequently accepted forests are swept by the recovery pass. Install
+// the schedule before the first step; events whose step has already passed
+// fire on the next one.
+func (s *Simulator) SetFailureSchedule(events []FailureEvent) {
+	evs := append([]FailureEvent(nil), events...)
+	sortFailureEvents(evs)
+	s.failures = evs
+	s.nextFail = 0
+	sof.WithRecovery()(s.solver)
+}
+
+// CompareScratchCost makes every recovery sweep additionally re-embed each
+// damaged forest's request from scratch on a one-shot session and record
+// the resulting cost next to the repaired forest's (RecoveryStats
+// ScratchCost / RepairedCost). Diagnostic only — the scratch forests are
+// discarded and carry no load.
+func (s *Simulator) CompareScratchCost(on bool) { s.compareScratch = on }
+
+// RecoveryStats accumulates the failure/recovery counters of a run.
+type RecoveryStats struct {
+	// Failures and Restores count schedule events applied (no-ops — e.g.
+	// re-failing a failed link — excluded).
+	Failures int
+	Restores int
+	// Sweeps counts recovery passes that found at least one damaged
+	// forest; ForestsTouched sums their blast radii.
+	Sweeps         int
+	ForestsTouched int
+	// Orphans counts severed destinations across all sweeps; each one is
+	// Reattached (FastPath by graft — BackupHits of those from a backup
+	// plan — the rest by re-embed) or Unrecoverable, never dropped.
+	Orphans       int
+	Reattached    int
+	FastPath      int
+	BackupHits    int
+	Reembeds      int
+	Unrecoverable int
+	// RepairCost sums the cost deltas recovery paid (repaired cost minus
+	// pre-failure cost, per damaged forest).
+	RepairCost float64
+	// RepairedCost and ScratchCost compare, per damaged forest, the cost
+	// after repair against a from-scratch re-embed of the same request
+	// (only filled under CompareScratchCost).
+	RepairedCost float64
+	ScratchCost  float64
+	// Latencies holds one wall-clock recovery duration per sweep.
+	Latencies []time.Duration
+}
+
+// FastPathRate returns the fraction of re-attached destinations recovered
+// by grafting rather than re-embedding (0 when nothing was re-attached).
+func (st *RecoveryStats) FastPathRate() float64 {
+	if st.Reattached == 0 {
+		return 0
+	}
+	return float64(st.FastPath) / float64(st.Reattached)
+}
+
+// LatencyP99 returns the 99th-percentile recovery latency (0 without
+// sweeps).
+func (st *RecoveryStats) LatencyP99() time.Duration {
+	if len(st.Latencies) == 0 {
+		return 0
+	}
+	lat := append([]time.Duration(nil), st.Latencies...)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := (len(lat)*99 + 99) / 100
+	if idx > len(lat) {
+		idx = len(lat)
+	}
+	return lat[idx-1]
+}
+
+// Recovery exposes the run's failure/recovery counters.
+func (s *Simulator) Recovery() *RecoveryStats { return &s.recovery }
+
+// fireFailures applies every schedule event due before the upcoming
+// arrival (step s.step+1) and, if any failure landed, runs a recovery
+// sweep with load re-accounting.
+func (s *Simulator) fireFailures(ctx context.Context) error {
+	failed := false
+	for s.nextFail < len(s.failures) && s.failures[s.nextFail].Step <= s.step+1 {
+		ev := s.failures[s.nextFail]
+		s.nextFail++
+		var changed bool
+		switch {
+		case ev.Restore && ev.Link != graph.NoEdge:
+			changed = s.solver.RestoreLink(ev.Link)
+		case ev.Restore:
+			changed = s.solver.RestoreVM(ev.VM)
+		case ev.Link != graph.NoEdge:
+			changed = s.solver.FailLink(ev.Link)
+		default:
+			changed = s.solver.FailVM(ev.VM)
+		}
+		if !changed {
+			continue
+		}
+		if ev.Restore {
+			s.recovery.Restores++
+		} else {
+			s.recovery.Failures++
+			failed = true
+		}
+	}
+	if !failed {
+		return nil
+	}
+	return s.recoverNow(ctx)
+}
+
+// recoverNow releases the damaged forests' load, sweeps the session, and
+// re-applies the load of whatever came back, so post-repair pricing sees
+// the recovered routes.
+func (s *Simulator) recoverNow(ctx context.Context) error {
+	var damaged []*sof.Forest
+	for _, f := range s.solver.LiveForests() {
+		if f.Damage().Broken() {
+			damaged = append(damaged, f)
+			s.releaseLoad(f.Internal())
+		}
+	}
+	if len(damaged) == 0 {
+		return nil
+	}
+	start := time.Now()
+	rep, err := s.solver.RepairAll(ctx)
+	if err != nil && !errors.Is(err, sof.ErrUnrecoverable) {
+		// Cancellation or forest corruption: re-apply the load we took
+		// off so the accounting stays consistent, then surface.
+		for _, f := range damaged {
+			s.applyLoad(f.Internal())
+		}
+		return err
+	}
+	s.recovery.Latencies = append(s.recovery.Latencies, time.Since(start))
+	s.recovery.Sweeps++
+	s.recovery.ForestsTouched += rep.ForestsTouched
+	s.recovery.Reattached += rep.Reattached
+	s.recovery.FastPath += rep.FastPath
+	s.recovery.BackupHits += rep.BackupHits
+	s.recovery.Reembeds += rep.Reembeds
+	s.recovery.RepairCost += rep.CostDelta
+	for _, fr := range rep.Forests {
+		s.recovery.Orphans += fr.Orphans
+		s.recovery.Unrecoverable += len(fr.Failed)
+	}
+	for _, f := range damaged {
+		s.applyLoad(f.Internal())
+	}
+	if s.compareScratch {
+		for _, fr := range rep.Forests {
+			s.recovery.RepairedCost += fr.Forest.TotalCost()
+			if nf, err := s.solver.Network().Embed(fr.Forest.Request(), sof.Algorithm(s.algo)); err == nil {
+				s.recovery.ScratchCost += nf.TotalCost()
+			}
+		}
+	}
+	s.reprice()
+	return nil
+}
+
+// applyLoad mirrors apply (demand onto trackers) for a repaired forest.
+func (s *Simulator) applyLoad(f *core.Forest) { s.apply(f) }
+
+// releaseLoad removes a damaged forest's demand from the trackers while
+// it is being repaired; Remove clamps at zero, so a forest whose load was
+// partially repriced away cannot drive a tracker negative.
+func (s *Simulator) releaseLoad(f *core.Forest) {
+	for _, e := range forestEdges(f) {
+		_ = s.linkLoad.Remove(int(e), s.cfg.Demand)
+	}
+	for _, v := range f.UsedVMs() {
+		if i, ok := s.vmIndex[v]; ok {
+			_ = s.vmLoad.Remove(i, 1)
+		}
+	}
+}

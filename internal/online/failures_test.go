@@ -1,0 +1,104 @@
+package online
+
+import (
+	"testing"
+
+	"sof/internal/graph"
+	"sof/internal/topology"
+)
+
+func TestFailureScheduleDeterministic(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 20, Seed: 5})
+	cfg := FailureConfig{Events: 8, VMShare: 0.25, Downtime: 4, Seed: 42}
+	a := FailureSchedule(net, 30, cfg)
+	b := FailureSchedule(net, 30, cfg)
+	if len(a) != len(b) || len(a) != 16 { // each failure pairs with a restore
+		t.Fatalf("schedule lengths: %d vs %d, want 16", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i].Step < a[i-1].Step {
+			t.Fatalf("schedule out of order at %d", i)
+		}
+	}
+	for _, ev := range a {
+		if (ev.Link == graph.NoEdge) == (ev.VM == graph.None) {
+			t.Fatalf("event identifies neither or both elements: %+v", ev)
+		}
+	}
+}
+
+// TestFailureRunNeverDropsDestinations is the acceptance criterion of the
+// survivable-forest scenario: over a seeded schedule of failures
+// interleaved with arrivals, every severed destination is either
+// re-attached — with the repaired forest re-validated — or surfaced as
+// unrecoverable. The accounting identity Orphans == Reattached +
+// Unrecoverable holding across all sweeps proves nothing was dropped.
+func TestFailureRunNeverDropsDestinations(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 3})
+	sim := NewSimulator(net, AlgoSOFDA, smallConfig())
+	sim.SetFailureSchedule(FailureSchedule(net, 20, FailureConfig{
+		Events: 10, VMShare: 0.3, Downtime: 3, Seed: 9,
+	}))
+	sim.CompareScratchCost(true)
+
+	results := sim.Run(20)
+	if len(results) != 20 {
+		t.Fatalf("got %d results", len(results))
+	}
+	st := sim.Recovery()
+	if st.Failures == 0 {
+		t.Fatal("schedule injected no failures")
+	}
+	if st.Reattached+st.Unrecoverable != st.Orphans {
+		t.Fatalf("dropped destinations: %d orphans vs %d reattached + %d unrecoverable",
+			st.Orphans, st.Reattached, st.Unrecoverable)
+	}
+	if st.FastPath > st.Reattached || st.BackupHits > st.FastPath {
+		t.Fatalf("tier accounting inconsistent: %+v", st)
+	}
+	if st.Sweeps > 0 && len(st.Latencies) != st.Sweeps {
+		t.Fatalf("latencies: %d samples for %d sweeps", len(st.Latencies), st.Sweeps)
+	}
+	// Every live forest that is currently undamaged must be fully valid
+	// (repairs included).
+	for _, f := range sim.Solver().LiveForests() {
+		if !f.Damage().Broken() {
+			if err := f.Validate(); err != nil {
+				t.Fatalf("live forest invalid after run: %v", err)
+			}
+		}
+	}
+	if st.Sweeps > 0 && st.LatencyP99() <= 0 {
+		t.Fatal("p99 latency not recorded")
+	}
+	if st.Orphans > 0 && st.RepairedCost <= 0 {
+		t.Fatal("scratch comparison recorded no repaired cost")
+	}
+}
+
+// TestFailureLoadReaccounting pins the tracker bookkeeping around repairs:
+// releasing a damaged forest's load and re-applying its repaired shape
+// must keep every tracker non-negative and finite.
+func TestFailureLoadReaccounting(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 4})
+	sim := NewSimulator(net, AlgoSOFDA, smallConfig())
+	sim.SetFailureSchedule(FailureSchedule(net, 12, FailureConfig{
+		Events: 6, VMShare: 0.5, Seed: 11, // permanent failures
+	}))
+	sim.Run(12)
+	for i := 0; i < sim.linkLoad.Len(); i++ {
+		if sim.linkLoad.Load(i) < 0 {
+			t.Fatalf("link %d load negative: %v", i, sim.linkLoad.Load(i))
+		}
+	}
+	for i := 0; i < sim.vmLoad.Len(); i++ {
+		if sim.vmLoad.Load(i) < 0 {
+			t.Fatalf("vm %d load negative: %v", i, sim.vmLoad.Load(i))
+		}
+	}
+}

@@ -90,6 +90,7 @@ type Result struct {
 type Simulator struct {
 	net    *topology.Network
 	cfg    Config
+	algo   Algorithm
 	solver *sof.Solver
 	rng    *rand.Rand
 
@@ -99,17 +100,30 @@ type Simulator struct {
 
 	accumulated float64
 	step        int
+
+	// Failure-injection state (see failures.go): the pending schedule,
+	// the recovery counters, and the scratch-comparison flag.
+	failures       []FailureEvent
+	nextFail       int
+	recovery       RecoveryStats
+	compareScratch bool
 }
 
 // NewSimulator builds a simulator over net. The network starts unloaded
-// (Section VIII-A: "the node/link usages are zero initially").
-func NewSimulator(net *topology.Network, algo Algorithm, cfg Config) *Simulator {
+// (Section VIII-A: "the node/link usages are zero initially"). Extra
+// Solver options are appended to the simulator's own (algorithm and VM
+// restriction); SetFailureSchedule adds sof.WithRecovery itself, so plain
+// arrival-only runs track nothing.
+func NewSimulator(net *topology.Network, algo Algorithm, cfg Config, opts ...sof.Option) *Simulator {
+	sopts := append([]sof.Option{
+		sof.WithAlgorithm(sof.Algorithm(algo)),
+		sof.WithVMs(net.VMs...),
+	}, opts...)
 	s := &Simulator{
-		net: net,
-		cfg: cfg,
-		solver: sof.NewSolver(sof.FromGraph(net.G),
-			sof.WithAlgorithm(sof.Algorithm(algo)),
-			sof.WithVMs(net.VMs...)),
+		net:      net,
+		cfg:      cfg,
+		algo:     algo,
+		solver:   sof.NewSolver(sof.FromGraph(net.G), sopts...),
 		rng:      rand.New(rand.NewSource(cfg.Seed)),
 		linkLoad: costmodel.NewTracker(net.G.NumEdges(), cfg.LinkCapacity),
 		vmLoad:   costmodel.NewTracker(len(net.VMs), cfg.VMCapacity),
@@ -152,6 +166,9 @@ func (s *Simulator) Step() Result {
 func (s *Simulator) StepCtx(ctx context.Context) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
+	}
+	if err := s.fireFailures(ctx); err != nil {
+		return Result{}, err
 	}
 	nSrc := s.cfg.SrcRange[0] + s.rng.Intn(s.cfg.SrcRange[1]-s.cfg.SrcRange[0]+1)
 	nDst := s.cfg.DstRange[0] + s.rng.Intn(s.cfg.DstRange[1]-s.cfg.DstRange[0]+1)

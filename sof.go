@@ -201,6 +201,9 @@ type Forest struct {
 	// vms is the embed-time candidate restriction; nil means every VM of
 	// the network is eligible.
 	vms []NodeID
+	// owner is the session that embedded the forest; recovery sweeps and
+	// Release go through it.
+	owner *Solver
 }
 
 // candidateVMs returns the VM set dynamic operations may draw from.
@@ -256,7 +259,10 @@ func (f *Forest) RemoveVNF(j int) error { return f.f.RemoveVNF(j) }
 
 // RerouteCongestedLink re-routes every forest segment using link e over
 // the current cheapest paths; update costs first (the cost change itself
-// invalidates the session's stale trees via the epoch).
+// invalidates the session's stale trees via the epoch). Segments that
+// cannot be moved (e.g. severed by failures) stay on e and their causes
+// come back joined in the error, alongside the count that did move — a
+// partial reroute is progress, not an abort.
 func (f *Forest) RerouteCongestedLink(e EdgeID) (int, error) {
 	return f.f.RerouteCongestedEdge(f.oracle, e)
 }
@@ -269,3 +275,15 @@ func (f *Forest) MigrateVM(v NodeID) error {
 
 // Internal returns the underlying core forest for advanced inspection.
 func (f *Forest) Internal() *core.Forest { return f.f }
+
+// Request returns the embedding request behind the forest, with the
+// destination list as it stands now (joins, leaves, and repairs move it
+// away from the original). Useful for re-embedding the same service from
+// scratch, e.g. to compare against a repaired forest.
+func (f *Forest) Request() Request {
+	return Request{
+		Sources:      append([]NodeID(nil), f.req.Sources...),
+		Destinations: f.f.Destinations(),
+		ChainLength:  f.req.ChainLen,
+	}
+}

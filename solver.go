@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"sof/internal/baseline"
 	"sof/internal/chain"
@@ -34,6 +35,17 @@ type Solver struct {
 	exactBudget int
 	admit       func(marginalCost float64) bool
 	oracle      *chain.Oracle
+
+	// Recovery state (see survivable.go). The registry only fills on
+	// sessions built WithRecovery; fmu guards it against concurrent
+	// embeds and sweeps.
+	recovery      bool
+	repairBudget  float64
+	repairRetries int
+	repairBackoff time.Duration
+	fmu           sync.Mutex
+	forests       map[*Forest]int64
+	fseq          int64
 }
 
 // ErrAdmissionRejected is the typed error carried by Result.Err (or
@@ -189,13 +201,18 @@ func (s *Solver) embed(ctx context.Context, req Request, algo Algorithm, innerPa
 	if s.admit != nil && !s.admit(f.TotalCost()) {
 		return nil, fmt.Errorf("%w (marginal cost %v)", ErrAdmissionRejected, f.TotalCost())
 	}
-	return &Forest{
+	out := &Forest{
 		f:      f,
 		net:    s.net,
 		req:    creq,
 		oracle: s.oracle,
 		vms:    s.vms,
-	}, nil
+		owner:  s,
+	}
+	if s.recovery {
+		s.register(out)
+	}
+	return out, nil
 }
 
 // Result couples one request of a batch or stream with its outcome.

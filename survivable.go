@@ -1,0 +1,348 @@
+package sof
+
+// Survivable embedding sessions: failure injection on the session's
+// network, damage inspection, and a recovery sweep over the live forests.
+//
+// Failures are state on the network (copy-on-write snapshots in the graph
+// layer), so injecting one is O(1) and bumps the cost epoch — every
+// session cache over the network invalidates lazily, exactly as a cost
+// change would. Recovery is two-tier: a fast path grafts each severed
+// destination back at its cheapest live join point (bounded by the repair
+// budget), and forests the fast path cannot fix are re-embedded from
+// scratch through the owning session. Destinations for which no repair
+// exists are surfaced with ErrUnrecoverable, never silently dropped.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"sof/internal/core"
+)
+
+// ErrUnrecoverable is wrapped into every per-destination error of a
+// recovery sweep for which no repair exists: the destination node itself
+// failed, or neither a graft nor a full re-embed can serve it under the
+// current failure state. Callers test with errors.Is.
+var ErrUnrecoverable = errors.New("sof: destination unrecoverable")
+
+// WithRecovery enables forest tracking on the session: every forest the
+// session embeds is registered (until Release) so FailLink/FailVM impact
+// queries and RepairAll can sweep them. Off by default — an untracked
+// session never retains forests, so long request streams that drop their
+// results do not leak.
+func WithRecovery() Option {
+	return func(s *Solver) { s.recovery = true }
+}
+
+// WithRepairBudget caps the graft cost RepairAll accepts for any single
+// destination on the fast path; a destination whose cheapest graft is
+// dearer falls through to the full re-embed tier. Zero or negative (the
+// default) means the fast path is unbounded and re-embed only runs when
+// no graft exists at all.
+func WithRepairBudget(budget float64) Option {
+	return func(s *Solver) { s.repairBudget = budget }
+}
+
+// WithRepairRetry makes RepairAll re-attempt each failed graft up to
+// retries extra times, sleeping backoff between attempts (a live network
+// may restore elements mid-sweep). Defaults: no retries.
+func WithRepairRetry(retries int, backoff time.Duration) Option {
+	return func(s *Solver) {
+		if retries > 0 {
+			s.repairRetries = retries
+		}
+		if backoff > 0 {
+			s.repairBackoff = backoff
+		}
+	}
+}
+
+// register tracks a freshly embedded forest in the recovery registry.
+func (s *Solver) register(f *Forest) {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	if s.forests == nil {
+		s.forests = make(map[*Forest]int64)
+	}
+	s.fseq++
+	s.forests[f] = s.fseq
+}
+
+// Release removes the forest from its session's recovery registry; the
+// forest itself stays usable, it just stops being swept by RepairAll.
+// Releasing an untracked forest is a no-op.
+func (f *Forest) Release() {
+	if f.owner == nil {
+		return
+	}
+	f.owner.fmu.Lock()
+	defer f.owner.fmu.Unlock()
+	delete(f.owner.forests, f)
+}
+
+// LiveForests returns the tracked forests in embedding order. Only
+// sessions built WithRecovery track forests.
+func (s *Solver) LiveForests() []*Forest {
+	s.fmu.Lock()
+	defer s.fmu.Unlock()
+	out := make([]*Forest, 0, len(s.forests))
+	for f := range s.forests {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return s.forests[out[i]] < s.forests[out[j]] })
+	return out
+}
+
+// FailLink marks link e failed. The link is not removed: traversals treat
+// it as infinitely expensive, restore is O(1), and the cost epoch advances
+// so session caches invalidate lazily. Reports whether the state changed
+// (failing a failed link is a no-op).
+func (s *Solver) FailLink(e EdgeID) bool { return s.net.g.FailEdge(e) }
+
+// FailVM marks VM v failed: no traversal enters it and no VNF may be
+// placed or kept on it. Reports whether the state changed; a non-VM node
+// is rejected (use FailLink for links — switch failures are modeled by
+// failing their links).
+func (s *Solver) FailVM(v NodeID) bool {
+	if !s.net.g.IsVM(v) {
+		return false
+	}
+	return s.net.g.FailNode(v)
+}
+
+// RestoreLink clears a link failure; reports whether the state changed.
+func (s *Solver) RestoreLink(e EdgeID) bool { return s.net.g.RestoreEdge(e) }
+
+// RestoreVM clears a VM failure; reports whether the state changed.
+func (s *Solver) RestoreVM(v NodeID) bool { return s.net.g.RestoreNode(v) }
+
+// RestoreAllFailures clears every failed element at once, returning how
+// many links and VMs were restored.
+func (s *Solver) RestoreAllFailures() (links, vms int) { return s.net.g.RestoreAll() }
+
+// Damage summarizes the effect of the current failure state on one forest.
+type Damage struct {
+	// Orphans lists the severed destinations, sorted.
+	Orphans []NodeID
+	// LostVNFs counts VNF instances stranded in severed subtrees.
+	LostVNFs int
+}
+
+// Broken reports whether any destination is severed.
+func (d Damage) Broken() bool { return len(d.Orphans) > 0 }
+
+// Damage reports which of the forest's destinations the current failure
+// state severs. Read-only: the forest is not modified.
+func (f *Forest) Damage() Damage {
+	d := f.f.Damage()
+	return Damage{Orphans: d.Orphans, LostVNFs: d.LostVNFs}
+}
+
+// PlanBackups pre-computes standby attach plans for the given critical
+// destinations (all current destinations when none are given): each plan
+// anchors off the destination's serving path, so a failure on that path
+// usually leaves the backup valid and repair becomes a cheap replay
+// instead of a fresh search. Returns how many plans were stored; the
+// error joins the destinations that got none and is advisory.
+func (f *Forest) PlanBackups(critical ...NodeID) (int, error) {
+	if len(critical) == 0 {
+		critical = f.f.Destinations()
+	}
+	return f.f.PlanBackups(f.oracle, f.candidateVMs(), critical)
+}
+
+// DestFailure records one destination a recovery sweep could not restore;
+// Err wraps ErrUnrecoverable.
+type DestFailure struct {
+	Dest NodeID
+	Err  error
+}
+
+// ForestRecovery is the per-forest outcome of a RepairAll sweep. The
+// accounting identity Orphans == Reattached + len(Failed) always holds: a
+// severed destination is restored or surfaced, never dropped.
+type ForestRecovery struct {
+	Forest *Forest
+	// Orphans is how many destinations the failure severed.
+	Orphans int
+	// Reattached counts destinations restored by any tier; FastPath of
+	// them by grafting (BackupHits of those by replaying a PlanBackups
+	// plan), the rest by a full re-embed.
+	Reattached int
+	FastPath   int
+	BackupHits int
+	// Reembedded is true when the fast path was insufficient and the
+	// forest was re-embedded from scratch through the session.
+	Reembedded bool
+	// CostDelta is the forest's cost after recovery minus before the
+	// failure.
+	CostDelta float64
+	// Failed lists the destinations that remain unserved.
+	Failed []DestFailure
+}
+
+// RecoveryReport aggregates one RepairAll sweep.
+type RecoveryReport struct {
+	// ForestsTouched is the blast radius: tracked forests with damage.
+	ForestsTouched int
+	// Forests holds the per-forest outcomes, in embedding order,
+	// damaged forests only.
+	Forests []ForestRecovery
+	// Reattached, FastPath, BackupHits, Reembeds and CostDelta aggregate
+	// the per-forest outcomes.
+	Reattached int
+	FastPath   int
+	BackupHits int
+	Reembeds   int
+	CostDelta  float64
+}
+
+// Unrecoverable flattens the per-forest failures.
+func (r *RecoveryReport) Unrecoverable() []DestFailure {
+	var out []DestFailure
+	for _, fr := range r.Forests {
+		out = append(out, fr.Failed...)
+	}
+	return out
+}
+
+// RepairAll sweeps every tracked forest (in embedding order) and repairs
+// the damage the current failure state inflicts. Per forest: severed
+// subtrees are detached (freeing their VMs), each orphaned destination is
+// re-attached at its cheapest live join point — backup plans first, then
+// the graft search, within the session's repair budget and retry policy —
+// and if orphans remain the whole forest is re-embedded from scratch
+// through the session. Destinations that still cannot be served are
+// reported per forest with errors wrapping ErrUnrecoverable, and the sweep
+// error joins them; forests keep serving every destination that survived
+// or was restored either way.
+//
+// The sweep stops early with ctx.Err() if ctx is cancelled between
+// forests or during retry backoff.
+func (s *Solver) RepairAll(ctx context.Context) (*RecoveryReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	report := &RecoveryReport{}
+	var sweepErrs []error
+	for _, f := range s.LiveForests() {
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+		fr, err := s.repairForest(ctx, f)
+		if err != nil {
+			return report, err
+		}
+		if fr == nil {
+			continue // undamaged
+		}
+		report.ForestsTouched++
+		report.Forests = append(report.Forests, *fr)
+		report.Reattached += fr.Reattached
+		report.FastPath += fr.FastPath
+		report.BackupHits += fr.BackupHits
+		if fr.Reembedded {
+			report.Reembeds++
+		}
+		report.CostDelta += fr.CostDelta
+		for _, df := range fr.Failed {
+			sweepErrs = append(sweepErrs, fmt.Errorf("forest dest %d: %w", df.Dest, df.Err))
+		}
+	}
+	return report, errors.Join(sweepErrs...)
+}
+
+// repairForest recovers one forest; nil means it was undamaged.
+func (s *Solver) repairForest(ctx context.Context, f *Forest) (*ForestRecovery, error) {
+	if !f.f.Damage().Broken() {
+		return nil, nil
+	}
+	before := f.TotalCost() // damage is non-structural: this is the pre-failure cost
+	fr := &ForestRecovery{Forest: f}
+	rep, err := f.f.Repair(f.oracle, f.candidateVMs(), &core.RepairOptions{Budget: s.repairBudget})
+	if err != nil {
+		return nil, fmt.Errorf("sof: repair of forest: %w", err)
+	}
+	fr.Orphans = rep.Orphans
+	fr.FastPath = rep.Reattached
+	fr.BackupHits = rep.BackupHits
+	pending := rep.Failed
+
+	// Retry tier: re-attempt each failed graft, with backoff — on a live
+	// network elements restore underneath us.
+	for try := 0; try < s.repairRetries && len(pending) > 0; try++ {
+		if err := sleepCtx(ctx, s.repairBackoff); err != nil {
+			return fr, err
+		}
+		var still []core.RepairFailure
+		for _, rf := range pending {
+			if _, err := f.f.JoinWithBudget(f.oracle, f.candidateVMs(), rf.Dest, s.repairBudget); err != nil {
+				still = append(still, core.RepairFailure{Dest: rf.Dest, Err: err})
+				continue
+			}
+			fr.FastPath++
+		}
+		pending = still
+	}
+
+	// Re-embed tier: destinations whose node is alive but that no graft
+	// could reach (or afford) get one full re-embed of the forest.
+	var wantBack []NodeID
+	for _, rf := range pending {
+		if s.net.g.NodeFailed(rf.Dest) {
+			fr.Failed = append(fr.Failed, DestFailure{
+				Dest: rf.Dest,
+				Err:  fmt.Errorf("destination node %d failed: %w", rf.Dest, ErrUnrecoverable),
+			})
+			continue
+		}
+		wantBack = append(wantBack, rf.Dest)
+	}
+	if len(wantBack) > 0 {
+		dests := append(f.f.Destinations(), wantBack...)
+		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		nf, err := s.embed(ctx, Request{
+			Sources:      f.req.Sources,
+			Destinations: dests,
+			ChainLength:  f.req.ChainLen,
+		}, s.algo, s.parallelism)
+		if err != nil {
+			for _, d := range wantBack {
+				fr.Failed = append(fr.Failed, DestFailure{
+					Dest: d,
+					Err:  fmt.Errorf("graft and re-embed both failed (%v): %w", err, ErrUnrecoverable),
+				})
+			}
+		} else {
+			// Swap the embedded core forest in place: the caller's *Forest
+			// keeps its identity, registry entry, and session state. The
+			// scratch wrapper must leave the registry or the sweep would
+			// track a forest nobody holds.
+			nf.Release()
+			f.f = nf.f
+			f.req = nf.req
+			fr.Reembedded = true
+		}
+	}
+	fr.Reattached = fr.Orphans - len(fr.Failed)
+	fr.CostDelta = f.TotalCost() - before
+	return fr, nil
+}
+
+// sleepCtx sleeps d (no-op when d <= 0) unless ctx is done first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
