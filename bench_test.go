@@ -414,6 +414,47 @@ func BenchmarkFig12Online(b *testing.B) {
 	}
 }
 
+// BenchmarkLifecycle soaks the capacitated lifecycle session with a seeded
+// Inet arrival/departure stream: 5000 requests with finite TTLs against
+// tight link and VM-slot capacities, so the run reaches the saturation
+// regime where masks divert arrivals and the session starts turning
+// requests away. The scenario is fully deterministic, so accept-% and
+// departed/op are exact-gated against the committed record; p99-embed-ms
+// is wall clock and informational only.
+func BenchmarkLifecycle(b *testing.B) {
+	const arrivals = 5000
+	var accepted, departed, live float64
+	var latencies []time.Duration
+	for i := 0; i < b.N; i++ {
+		net, err := topology.Inet(300, 600, 30, topology.Config{NumVMs: 30, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := online.Config{
+			LinkCapacity: 30, Demand: 5, VMCapacity: 3,
+			SrcRange: [2]int{2, 4}, DstRange: [2]int{4, 8},
+			ChainLen: 2, Seed: 42, TTLRange: [2]int{30, 90},
+		}
+		sim := online.NewSimulator(net, online.AlgoSOFDA, cfg)
+		sim.Run(arrivals)
+		st := sim.Lifecycle()
+		if st.Arrivals != arrivals {
+			b.Fatalf("ran %d arrivals, want %d", st.Arrivals, arrivals)
+		}
+		accepted += float64(st.Accepted)
+		departed += float64(st.Departed)
+		live += float64(len(sim.Solver().Leases()))
+		latencies = append(latencies, st.EmbedLatencies...)
+	}
+	n := float64(b.N)
+	b.ReportMetric(100*accepted/(n*arrivals), "accept-%")
+	b.ReportMetric(departed/n, "departed/op")
+	b.ReportMetric(live/n, "live-leases/op")
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	p99 := latencies[(len(latencies)*99+99)/100-1]
+	b.ReportMetric(float64(p99.Microseconds())/1e3, "p99-embed-ms")
+}
+
 // BenchmarkTable2QoE reproduces the video QoE experiment on both profiles.
 func BenchmarkTable2QoE(b *testing.B) {
 	for _, algo := range []online.Algorithm{online.AlgoSOFDA, online.AlgoENEMP, online.AlgoEST} {

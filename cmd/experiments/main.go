@@ -9,6 +9,7 @@
 //	experiments -table 1          # SOFDA runtime
 //	experiments -dist             # distributed vs centralized SOFDA (Section VI)
 //	experiments -failures -quick  # failure injection + recovery table
+//	experiments -lifecycle -quick # capacitated arrival/departure lifecycle table
 //	experiments -dist -transport rpc  # same, over net/rpc loopback domains
 //	experiments -all -quick       # everything, reduced sizes
 package main
@@ -40,6 +41,7 @@ func main() {
 		steps       = flag.Int("steps", 30, "arrivals for Fig. 12")
 		distrib     = flag.Bool("dist", false, "distributed SOFDA comparison (Section VI)")
 		failures    = flag.Bool("failures", false, "failure recovery under live load (survivable forests)")
+		lifecycle   = flag.Bool("lifecycle", false, "capacitated arrival/departure run: acceptance, departures, adaptive admission")
 		failEvents  = flag.Int("fail-events", 60, "failures injected per -failures run")
 		stream      = flag.Bool("stream", false, "with -dist: compare server-streamed fragment joins against batch joins (with -domain-addrs: use the streamed exchange)")
 		transport   = flag.String("transport", "inproc", "distributed transport: inproc (channel) or rpc (net/rpc over loopback)")
@@ -157,6 +159,22 @@ func main() {
 				log.Fatalf("failure recovery (%s): %v", kind, err)
 			}
 			fmt.Println(exp.FormatFailureTable(kind, rows))
+		}
+	}
+	if *all || *lifecycle {
+		ran = true
+		kinds := []exp.NetKind{exp.NetSoftLayer, exp.NetCogent}
+		n := 12 * *steps // departures need a long stream to reach steady state
+		if *quick {
+			kinds = kinds[:1]
+			n = 4 * *steps
+		}
+		for _, kind := range kinds {
+			rows, err := exp.LifecycleTable(kind, n, 0)
+			if err != nil {
+				log.Fatalf("lifecycle (%s): %v", kind, err)
+			}
+			fmt.Println(exp.FormatLifecycleTable(kind, rows))
 		}
 	}
 	if *all || *distrib {

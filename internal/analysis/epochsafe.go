@@ -33,6 +33,13 @@ var costMutators = map[string]bool{
 	"RestoreLink":        true,
 	"RestoreVM":          true,
 	"RestoreAllFailures": true,
+	// Capacity masks share the failure representation: masking a saturated
+	// element reprices it as unreachable, so these bump the epoch too.
+	"MaskEdge":   true,
+	"MaskNode":   true,
+	"UnmaskEdge": true,
+	"UnmaskNode": true,
+	"UnmaskAll":  true,
 }
 
 // EpochSafe flags cost-state writes that bypass the graph package's

@@ -446,16 +446,17 @@ func (o *Oracle) Chain(vms []graph.NodeID, s, u graph.NodeID, chainLen int) (*Se
 
 // solveChain is the uncached Chain computation: build the auxiliary
 // instance of Procedure 1, solve the k-stroll, materialize the walk.
-// Failed VMs are dropped from the candidate set (they can host nothing,
-// and keeping them would make every instance infeasible the moment one VM
-// dies: the instance build treats an unreachable candidate as an error).
+// Blocked VMs — failed, or capacity-masked by a saturated session — are
+// dropped from the candidate set (they can host nothing, and keeping them
+// would make every instance infeasible the moment one VM dies: the
+// instance build treats an unreachable candidate as an error).
 func (o *Oracle) solveChain(vms []graph.NodeID, s, u graph.NodeID, chainLen int) (*ServiceChain, error) {
 	if chainLen < 1 {
 		return nil, fmt.Errorf("chain: chain length %d < 1", chainLen)
 	}
-	fs := o.g.Failures()
+	fs := o.g.Blocked()
 	if fs.NodeFailed(u) {
-		return nil, fmt.Errorf("chain: last VM %d is failed: %w", u, kstroll.ErrInfeasible)
+		return nil, fmt.Errorf("chain: last VM %d is unavailable: %w", u, kstroll.ErrInfeasible)
 	}
 	cand := make([]graph.NodeID, 0, len(vms))
 	uIdx := -1
@@ -606,9 +607,10 @@ func (o *Oracle) Extension(vms []graph.NodeID, from, to graph.NodeID, nVMs int) 
 		}
 		return sc, nil
 	}
-	// Failed VMs cannot host the missing VNFs; drop them like solveChain
-	// does so one dead VM does not poison the whole extension instance.
-	fs := o.g.Failures()
+	// Blocked VMs (failed or saturated) cannot host the missing VNFs; drop
+	// them like solveChain does so one dead VM does not poison the whole
+	// extension instance.
+	fs := o.g.Blocked()
 	cand := make([]graph.NodeID, 0, len(vms))
 	for _, v := range vms {
 		if v == from || v == to || fs.NodeFailed(v) {

@@ -365,10 +365,11 @@ func (f *Forest) MigrateOverloadedVM(oracle *chain.Oracle, freeVMs []graph.NodeI
 		if _, used := f.owner[w]; used || w == v {
 			continue
 		}
-		// Never migrate onto a failed VM: the oracle would report it
-		// unreachable anyway, but checking here keeps the error crisp and
-		// skips the path queries.
-		if f.g.NodeFailed(w) {
+		// Never migrate onto a blocked VM (failed, or saturated by a
+		// capacitated session): the oracle would report it unreachable
+		// anyway, but checking here keeps the error crisp and skips the
+		// path queries.
+		if f.g.NodeBlocked(w) {
 			continue
 		}
 		cost := f.g.NodeCost(w)

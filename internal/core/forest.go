@@ -141,6 +141,34 @@ func (f *Forest) UsedVMs() []graph.NodeID {
 // VNFOf returns the VNF index enabled on real VM v (0 if none).
 func (f *Forest) VNFOf(v graph.NodeID) int { return f.owner[v].vnf }
 
+// Footprint is the physical resources a forest occupies right now: the
+// parent edge of every live clone — an edge crossed by k clones appears k
+// times, because each crossing carries the request's demand independently —
+// and the VMs hosting its VNFs (each once, one slot per forest per VM).
+// Capacitated sessions reserve and release exactly this set per lease.
+type Footprint struct {
+	Edges []graph.EdgeID
+	VMs   []graph.NodeID
+}
+
+// Footprint extracts the forest's current resource footprint. It reflects
+// whatever shape the forest has at call time, so a lease captured before a
+// repair and recomputed after naturally accounts for swapped routes.
+func (f *Forest) Footprint() Footprint {
+	var fp Footprint
+	for id := range f.clones {
+		c := &f.clones[id]
+		if c.deleted {
+			continue
+		}
+		if c.Parent != NoClone && c.ParentEdge != graph.NoEdge {
+			fp.Edges = append(fp.Edges, c.ParentEdge)
+		}
+	}
+	fp.VMs = f.UsedVMs()
+	return fp
+}
+
 // newRoot adds a root clone of node and registers it as a tree root.
 func (f *Forest) newRoot(node graph.NodeID) CloneID {
 	id := CloneID(len(f.clones))

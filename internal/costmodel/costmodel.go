@@ -7,9 +7,21 @@
 package costmodel
 
 import (
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrCapacityExceeded reports that a reservation would push a resource past
+// its capacity. Capacitated Solver sessions surface it (wrapped with the
+// resource kind and id) when an embed's footprint does not fit, so callers
+// can distinguish "network full" from "no feasible route".
+var ErrCapacityExceeded = errors.New("costmodel: capacity exceeded")
+
+// capEps absorbs float accumulation drift in capacity checks: a resource
+// whose load sits at capacity after many add/remove round-trips must still
+// accept a zero-demand no-op and must not be reported over-full.
+const capEps = 1e-9
 
 // Cost returns the paper's cost for current load l on a resource of
 // capacity p (Section VII-B):
@@ -83,6 +95,9 @@ func (t *Tracker) SetLoad(i int, l float64) { t.load[i] = l }
 // Load returns the current load of resource i.
 func (t *Tracker) Load(i int) float64 { return t.load[i] }
 
+// Capacity returns the capacity of resource i.
+func (t *Tracker) Capacity(i int) float64 { return t.capacity[i] }
+
 // Utilization returns load/capacity of resource i.
 func (t *Tracker) Utilization(i int) float64 {
 	if t.capacity[i] <= 0 {
@@ -94,9 +109,38 @@ func (t *Tracker) Utilization(i int) float64 {
 // Add accumulates demand on resource i.
 func (t *Tracker) Add(i int, demand float64) { t.load[i] += demand }
 
+// Fits reports whether resource i can absorb demand without exceeding its
+// capacity (within capEps of float drift).
+func (t *Tracker) Fits(i int, demand float64) bool {
+	return t.load[i]+demand <= t.capacity[i]+capEps
+}
+
+// Reserve accumulates demand on resource i only if it fits, returning
+// ErrCapacityExceeded (wrapped with the resource id and its current load)
+// otherwise. This is the enforcing counterpart of Add: the tracker state is
+// untouched on error, so a multi-resource reservation can validate every
+// footprint entry with Fits and then apply with Add/Reserve without needing
+// rollback.
+func (t *Tracker) Reserve(i int, demand float64) error {
+	if !t.Fits(i, demand) {
+		return fmt.Errorf("resource %d: load %v + demand %v > capacity %v: %w",
+			i, t.load[i], demand, t.capacity[i], ErrCapacityExceeded)
+	}
+	t.load[i] += demand
+	return nil
+}
+
+// Saturated reports whether resource i has no headroom for another unit of
+// demand d: a subsequent Reserve(i, d) would fail.
+func (t *Tracker) Saturated(i int, d float64) bool { return !t.Fits(i, d) }
+
 // Remove releases demand from resource i (teardown of a finished request).
+// The error — demand exceeding the recorded load, which means some caller's
+// books have drifted from the tracker's — must be propagated, never
+// discarded: a swallowed underflow silently clamps to zero and every later
+// cost query prices the resource as emptier than it is.
 func (t *Tracker) Remove(i int, demand float64) error {
-	if t.load[i]-demand < -1e-9 {
+	if t.load[i]-demand < -capEps {
 		return fmt.Errorf("costmodel: removing %v from resource %d with load %v", demand, i, t.load[i])
 	}
 	t.load[i] -= demand

@@ -1,6 +1,7 @@
 package costmodel
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"testing/quick"
@@ -110,5 +111,64 @@ func TestTracker(t *testing.T) {
 	tr.SetLoad(1, 9.5)
 	if tr.Cost(1) <= tr.Cost(0) {
 		t.Error("nearly saturated resource should cost more")
+	}
+}
+
+func TestTrackerReserve(t *testing.T) {
+	tr := NewTracker(2, 10)
+	if err := tr.Reserve(0, 6); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Saturated(0, 5) != true || tr.Saturated(0, 4) != false {
+		t.Fatal("Saturated headroom check wrong at load 6/10")
+	}
+	// A reservation that would overflow fails, wraps the sentinel, and
+	// leaves the load untouched — no rollback needed.
+	err := tr.Reserve(0, 5)
+	if !errors.Is(err, ErrCapacityExceeded) {
+		t.Fatalf("Reserve over capacity: err = %v, want ErrCapacityExceeded", err)
+	}
+	if math.Abs(tr.Load(0)-6) > 1e-9 {
+		t.Fatalf("failed Reserve mutated load to %v", tr.Load(0))
+	}
+	// Filling to exactly capacity succeeds; one more unit does not.
+	if err := tr.Reserve(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Reserve(0, 1); !errors.Is(err, ErrCapacityExceeded) {
+		t.Fatalf("Reserve past full: err = %v", err)
+	}
+	if !tr.Saturated(0, 1) {
+		t.Fatal("full resource not reported saturated")
+	}
+	// Release restores headroom.
+	if err := tr.Remove(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Reserve(0, 4); err != nil {
+		t.Fatalf("Reserve after release: %v", err)
+	}
+}
+
+// TestTrackerRemoveDriftRegression pins the underflow contract Remove's
+// callers rely on: an over-removal must return an error AND leave the load
+// clamped, never negative — and a long add/remove round-trip sequence must
+// conserve load exactly enough that the final Remove succeeds.
+func TestTrackerRemoveDriftRegression(t *testing.T) {
+	tr := NewTracker(1, 1)
+	if err := tr.Remove(0, 0.5); err == nil {
+		t.Fatal("removing from an empty tracker must error")
+	}
+	if tr.Load(0) != 0 {
+		t.Fatalf("load after failed remove = %v, want 0", tr.Load(0))
+	}
+	for i := 0; i < 1000; i++ {
+		tr.Add(0, 0.1)
+		if err := tr.Remove(0, 0.1); err != nil {
+			t.Fatalf("round-trip %d: %v", i, err)
+		}
+	}
+	if tr.Load(0) > 1e-6 {
+		t.Fatalf("load drifted to %v after balanced round-trips", tr.Load(0))
 	}
 }

@@ -195,17 +195,18 @@ func DijkstraBatch(g *Graph, sources []NodeID, a *Arena) []*ShortestPaths {
 }
 
 // dijkstraHeap is the indexed-heap SSSP core: it fills sp (whose Source
-// and result arrays the caller prepared) in place. Failed elements are
-// skipped: no relaxation crosses a failed edge or enters a failed node,
-// and a failed source yields an all-unreachable tree (its own distance
-// included — a dead node reaches nothing, not even itself).
+// and result arrays the caller prepared) in place. Blocked elements
+// (failed or capacity-masked) are skipped: no relaxation crosses a
+// blocked edge or enters a blocked node, and a blocked source yields an
+// all-unreachable tree (its own distance included — a dead node reaches
+// nothing, not even itself).
 func dijkstraHeap(g *Graph, c *csrLayout, a *Arena, sp *ShortestPaths) {
 	for i := range sp.Dist {
 		sp.Dist[i] = math.Inf(1)
 		sp.Parent[i] = None
 		sp.ParentEdge[i] = NoEdge
 	}
-	fs := g.fail.snap.Load()
+	fs := g.block.blocked.Load()
 	if fs.NodeFailed(sp.Source) {
 		return
 	}
@@ -246,7 +247,7 @@ func dijkstraBucket(g *Graph, c *csrLayout, a *Arena, sp *ShortestPaths) {
 		sp.Parent[i] = None
 		sp.ParentEdge[i] = NoEdge
 	}
-	fs := g.fail.snap.Load()
+	fs := g.block.blocked.Load()
 	if fs.NodeFailed(sp.Source) {
 		return
 	}
@@ -301,7 +302,7 @@ func BellmanFord(g *Graph, src NodeID) *ShortestPaths {
 		sp.Parent[i] = None
 		sp.ParentEdge[i] = NoEdge
 	}
-	fs := g.fail.snap.Load()
+	fs := g.block.blocked.Load()
 	if fs.NodeFailed(src) {
 		return sp
 	}

@@ -102,10 +102,11 @@ type Graph struct {
 	// rescanning the edge table each time would tax exactly the large
 	// graphs the queue exists for.
 	maxCostCache atomic.Pointer[maxCostEntry]
-	// fail holds the copy-on-write failed-element snapshot (see fail.go);
-	// a nil snapshot means nothing has failed, which is the steady state
-	// the traversal hot loops are optimized for.
-	fail failStore
+	// block holds the copy-on-write failed- and capacity-masked-element
+	// snapshots plus their precomputed union (see fail.go); nil snapshots
+	// mean the graph is fully open, which is the steady state the
+	// traversal hot loops are optimized for.
+	block blockState
 }
 
 // maxCostEntry is one memoized maximum-edge-cost computation, valid while
@@ -304,9 +305,12 @@ func (g *Graph) Clone() *Graph {
 		out.adj[i] = append([]Arc(nil), a...)
 	}
 	out.epoch.Store(g.epoch.Load())
-	// Failure snapshots are immutable, so the clone can share the current
-	// one; its own Fail/Restore calls publish fresh snapshots.
-	out.fail.snap.Store(g.fail.snap.Load())
+	// Failure/mask snapshots are immutable, so the clone can share the
+	// current ones; its own Fail/Restore/Mask calls publish fresh
+	// snapshots.
+	out.block.fail.snap.Store(g.block.fail.snap.Load())
+	out.block.mask.snap.Store(g.block.mask.snap.Load())
+	out.block.blocked.Store(g.block.blocked.Load())
 	return out
 }
 

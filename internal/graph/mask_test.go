@@ -1,0 +1,114 @@
+package graph
+
+import "testing"
+
+func TestMaskEdgeRoutesAroundButIsNotDamage(t *testing.T) {
+	// Same triangle as TestFailEdgeRoutesAround: a cheap direct edge and an
+	// expensive detour. Masking must reroute exactly like failing, but the
+	// failure snapshot must stay empty.
+	g := New(3, 3)
+	a, b, c := g.AddSwitch("a"), g.AddSwitch("b"), g.AddSwitch("c")
+	direct := g.MustAddEdge(a, b, 1)
+	g.MustAddEdge(a, c, 2)
+	g.MustAddEdge(c, b, 2)
+
+	epoch := g.CostEpoch()
+	if !g.MaskEdge(direct) {
+		t.Fatal("MaskEdge reported no change")
+	}
+	if g.CostEpoch() == epoch {
+		t.Fatal("MaskEdge did not advance the cost epoch")
+	}
+	if !g.EdgeMasked(direct) || !g.EdgeBlocked(direct) {
+		t.Fatal("masked edge not reported masked/blocked")
+	}
+	if g.EdgeFailed(direct) {
+		t.Fatal("masked edge must not be reported failed")
+	}
+	if g.Failures() != nil {
+		t.Fatal("masking must leave the failure snapshot empty")
+	}
+	sp := Dijkstra(g, a)
+	if sp.Dist[b] != 4 {
+		t.Fatalf("post-mask dist a→b = %v, want 4 via detour", sp.Dist[b])
+	}
+	// Re-masking is a no-op; unmasking reopens the edge.
+	epoch = g.CostEpoch()
+	if g.MaskEdge(direct) || g.CostEpoch() != epoch {
+		t.Fatal("re-masking a masked edge must be a no-op")
+	}
+	if !g.UnmaskEdge(direct) {
+		t.Fatal("UnmaskEdge reported no change")
+	}
+	sp = Dijkstra(g, a)
+	if sp.Dist[b] != 1 {
+		t.Fatalf("post-unmask dist a→b = %v, want 1", sp.Dist[b])
+	}
+}
+
+func TestMaskNodeBlocksTraversal(t *testing.T) {
+	g, _ := lineGraph(4)
+	if !g.MaskNode(1) {
+		t.Fatal("MaskNode reported no change")
+	}
+	if !g.NodeMasked(1) || !g.NodeBlocked(1) || g.NodeFailed(1) {
+		t.Fatal("mask flags wrong after MaskNode")
+	}
+	sp := Dijkstra(g, 0)
+	if sp.Reachable(2) || sp.Reachable(3) {
+		t.Fatal("masked node must sever traversal like a failed node")
+	}
+	if !g.UnmaskNode(1) {
+		t.Fatal("UnmaskNode reported no change")
+	}
+	if sp := Dijkstra(g, 0); !sp.Reachable(3) {
+		t.Fatal("unmasking must reopen the path")
+	}
+}
+
+func TestBlockedIsUnionOfFailuresAndMasks(t *testing.T) {
+	g, edges := lineGraph(5)
+	g.FailEdge(edges[0])
+	g.MaskEdge(edges[2])
+	bl := g.Blocked()
+	if !bl.EdgeFailed(edges[0]) || !bl.EdgeFailed(edges[2]) {
+		t.Fatal("Blocked must contain both failed and masked edges")
+	}
+	if e, _ := g.Failures().Counts(); e != 1 {
+		t.Fatalf("failure snapshot has %d edges, want 1", e)
+	}
+	if e, _ := g.Masked().Counts(); e != 1 {
+		t.Fatalf("mask snapshot has %d edges, want 1", e)
+	}
+
+	// RestoreAll clears failures only; UnmaskAll clears masks only.
+	if e, _ := g.RestoreAll(); e != 1 {
+		t.Fatalf("RestoreAll cleared %d edges, want 1", e)
+	}
+	if !g.EdgeMasked(edges[2]) || !g.EdgeBlocked(edges[2]) {
+		t.Fatal("RestoreAll must not clear capacity masks")
+	}
+	if g.EdgeBlocked(edges[0]) {
+		t.Fatal("restored edge still blocked")
+	}
+	if e, _ := g.UnmaskAll(); e != 1 {
+		t.Fatalf("UnmaskAll cleared %d edges, want 1", e)
+	}
+	if g.Blocked() != nil {
+		t.Fatal("fully open graph must publish a nil blocked snapshot")
+	}
+}
+
+func TestMaskCloneShares(t *testing.T) {
+	g, edges := lineGraph(3)
+	g.MaskEdge(edges[0])
+	c := g.Clone()
+	if !c.EdgeMasked(edges[0]) || !c.EdgeBlocked(edges[0]) {
+		t.Fatal("clone must inherit mask and blocked snapshots")
+	}
+	// Diverge: unmasking the clone must not touch the original.
+	c.UnmaskEdge(edges[0])
+	if !g.EdgeMasked(edges[0]) {
+		t.Fatal("unmasking the clone leaked into the original")
+	}
+}

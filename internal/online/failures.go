@@ -3,9 +3,10 @@ package online
 // Failure injection for the online scenario: a seeded schedule of link/VM
 // failures (and restores) interleaved with the arrival stream. Events fire
 // before the arrival of their step; every failure triggers a recovery
-// sweep through the session (sof.Solver.RepairAll), with the damaged
-// forests' load released during repair and re-applied for whatever shape
-// they come back in — repaired routes are priced like any other traffic.
+// sweep through the session (sof.Solver.RepairAll). The capacitated
+// session suspends each damaged forest's lease during its repair and
+// resumes it for whatever shape it comes back in, so repaired routes are
+// priced like any other traffic.
 
 import (
 	"context"
@@ -15,7 +16,6 @@ import (
 	"time"
 
 	"sof"
-	"sof/internal/core"
 	"sof/internal/graph"
 	"sof/internal/topology"
 )
@@ -195,28 +195,24 @@ func (s *Simulator) fireFailures(ctx context.Context) error {
 	return s.recoverNow(ctx)
 }
 
-// recoverNow releases the damaged forests' load, sweeps the session, and
-// re-applies the load of whatever came back, so post-repair pricing sees
-// the recovered routes.
+// recoverNow sweeps the session. The capacitated Solver re-accounts the
+// load itself — each damaged forest's lease is suspended (load off the
+// trackers) while the repair reshapes it and resumed for whatever shape it
+// comes back in — so the simulator only gathers counters and re-prices
+// afterwards, letting post-repair pricing see the recovered routes.
 func (s *Simulator) recoverNow(ctx context.Context) error {
-	var damaged []*sof.Forest
+	damaged := 0
 	for _, f := range s.solver.LiveForests() {
 		if f.Damage().Broken() {
-			damaged = append(damaged, f)
-			s.releaseLoad(f.Internal())
+			damaged++
 		}
 	}
-	if len(damaged) == 0 {
+	if damaged == 0 {
 		return nil
 	}
 	start := time.Now()
 	rep, err := s.solver.RepairAll(ctx)
 	if err != nil && !errors.Is(err, sof.ErrUnrecoverable) {
-		// Cancellation or forest corruption: re-apply the load we took
-		// off so the accounting stays consistent, then surface.
-		for _, f := range damaged {
-			s.applyLoad(f.Internal())
-		}
 		return err
 	}
 	s.recovery.Latencies = append(s.recovery.Latencies, time.Since(start))
@@ -231,9 +227,6 @@ func (s *Simulator) recoverNow(ctx context.Context) error {
 		s.recovery.Orphans += fr.Orphans
 		s.recovery.Unrecoverable += len(fr.Failed)
 	}
-	for _, f := range damaged {
-		s.applyLoad(f.Internal())
-	}
 	if s.compareScratch {
 		for _, fr := range rep.Forests {
 			s.recovery.RepairedCost += fr.Forest.TotalCost()
@@ -242,23 +235,6 @@ func (s *Simulator) recoverNow(ctx context.Context) error {
 			}
 		}
 	}
-	s.reprice()
+	s.solver.Reprice()
 	return nil
-}
-
-// applyLoad mirrors apply (demand onto trackers) for a repaired forest.
-func (s *Simulator) applyLoad(f *core.Forest) { s.apply(f) }
-
-// releaseLoad removes a damaged forest's demand from the trackers while
-// it is being repaired; Remove clamps at zero, so a forest whose load was
-// partially repriced away cannot drive a tracker negative.
-func (s *Simulator) releaseLoad(f *core.Forest) {
-	for _, e := range forestEdges(f) {
-		_ = s.linkLoad.Remove(int(e), s.cfg.Demand)
-	}
-	for _, v := range f.UsedVMs() {
-		if i, ok := s.vmIndex[v]; ok {
-			_ = s.vmLoad.Remove(i, 1)
-		}
-	}
 }

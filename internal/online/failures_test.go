@@ -1,8 +1,10 @@
 package online
 
 import (
+	"math"
 	"testing"
 
+	"sof"
 	"sof/internal/graph"
 	"sof/internal/topology"
 )
@@ -81,9 +83,11 @@ func TestFailureRunNeverDropsDestinations(t *testing.T) {
 	}
 }
 
-// TestFailureLoadReaccounting pins the tracker bookkeeping around repairs:
-// releasing a damaged forest's load and re-applying its repaired shape
-// must keep every tracker non-negative and finite.
+// TestFailureLoadReaccounting pins the session bookkeeping around repairs:
+// suspending a damaged forest's lease and resuming its repaired shape must
+// keep every tracker non-negative and, lease by lease, load conservation
+// must hold — each link's load is exactly the summed demand of the live
+// leases crossing it, each VM's the count of leases holding its slot.
 func TestFailureLoadReaccounting(t *testing.T) {
 	net := topology.SoftLayer(topology.Config{NumVMs: 25, Seed: 4})
 	sim := NewSimulator(net, AlgoSOFDA, smallConfig())
@@ -91,14 +95,34 @@ func TestFailureLoadReaccounting(t *testing.T) {
 		Events: 6, VMShare: 0.5, Seed: 11, // permanent failures
 	}))
 	sim.Run(12)
-	for i := 0; i < sim.linkLoad.Len(); i++ {
-		if sim.linkLoad.Load(i) < 0 {
-			t.Fatalf("link %d load negative: %v", i, sim.linkLoad.Load(i))
+
+	solver := sim.Solver()
+	wantLink := make(map[sof.EdgeID]float64)
+	wantVM := make(map[sof.NodeID]float64)
+	for _, l := range solver.Leases() {
+		for _, e := range l.Edges {
+			wantLink[e] += l.Demand
+		}
+		for _, v := range l.VMs {
+			wantVM[v]++
 		}
 	}
-	for i := 0; i < sim.vmLoad.Len(); i++ {
-		if sim.vmLoad.Load(i) < 0 {
-			t.Fatalf("vm %d load negative: %v", i, sim.vmLoad.Load(i))
+	for e := 0; e < net.G.NumEdges(); e++ {
+		got := solver.LinkLoad(sof.EdgeID(e))
+		if got < 0 {
+			t.Fatalf("link %d load negative: %v", e, got)
+		}
+		if want := wantLink[sof.EdgeID(e)]; math.Abs(got-want) > 1e-6 {
+			t.Fatalf("link %d load %v, live leases explain %v", e, got, want)
+		}
+	}
+	for n := 0; n < net.G.NumNodes(); n++ {
+		got := solver.VMLoad(sof.NodeID(n))
+		if got < 0 {
+			t.Fatalf("vm %d load negative: %v", n, got)
+		}
+		if want := wantVM[sof.NodeID(n)]; math.Abs(got-want) > 1e-6 {
+			t.Fatalf("vm %d load %v, live leases explain %v", n, got, want)
 		}
 	}
 }

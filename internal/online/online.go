@@ -1,24 +1,28 @@
 // Package online implements the online deployment scenario of Section
 // VIII-C: requests arrive sequentially, each is embedded by a chosen
 // algorithm under the current load-dependent costs, the accepted forest's
-// demand is added to the links and VMs it uses, and all costs are re-priced
-// with the Fortz–Thorup function before the next arrival. The accumulated
-// cost curve reproduces Figure 12.
+// demand is reserved on the links and VMs it uses, and all costs are
+// re-priced with the Fortz–Thorup function before the next arrival. The
+// accumulated cost curve reproduces Figure 12.
 //
-// The simulator drives a single long-lived sof.Solver session: candidate
-// shortest-path state is cached across arrivals and invalidated lazily
-// through the network's cost epoch, so steps whose re-pricing did not
-// actually change any cost embed from a warm cache.
+// The simulator drives a single long-lived capacitated sof.Solver session:
+// the session owns the load ledger (a lease per accepted request), enforces
+// the link and VM-slot capacities, expires TTL-bearing requests against its
+// virtual clock, and masks saturated elements so later arrivals route
+// around them. Candidate shortest-path state is cached across arrivals and
+// invalidated lazily through the network's cost epoch, so steps whose
+// re-pricing did not actually change any cost embed from a warm cache.
 package online
 
 import (
 	"context"
+	"errors"
+	"math"
 	"math/rand"
+	"sort"
+	"time"
 
 	"sof"
-	"sof/internal/core"
-	"sof/internal/costmodel"
-	"sof/internal/graph"
 	"sof/internal/topology"
 )
 
@@ -39,10 +43,12 @@ const (
 // Config parameterizes a simulation run.
 type Config struct {
 	// LinkCapacity and demand follow Section VIII-A: 100 Mbps links,
-	// 5 Mbps per request.
+	// 5 Mbps per request. Zero or negative means uncapacitated (loads are
+	// tracked and priced but nothing is enforced or masked).
 	LinkCapacity float64
 	Demand       float64
-	// VMCapacity bounds VNF instances per VM host slot.
+	// VMCapacity bounds VNF instances per VM host slot; zero or negative
+	// means unbounded slots.
 	VMCapacity float64
 	// SrcRange and DstRange bound the per-request source/destination
 	// counts (inclusive), drawn uniformly.
@@ -51,6 +57,19 @@ type Config struct {
 	// ChainLen is the demanded services per request (3 in the paper).
 	ChainLen int
 	Seed     int64
+
+	// TTLRange bounds the per-request lifetime in arrival steps
+	// (inclusive), drawn uniformly; the zero value disables departures and
+	// every accepted service stays for the whole run (the Figure 12
+	// arrival-only setting). One arrival step is one unit of the session's
+	// virtual clock.
+	TTLRange [2]int
+	// AdmissionMu and AdmissionBudget, when AdmissionMu > 0, switch the
+	// session to adaptive admission (sof.WithAdaptiveAdmission): a request
+	// is admitted only while the utilization-exponential price of its
+	// footprint stays within budget × destinations.
+	AdmissionMu     float64
+	AdmissionBudget float64
 }
 
 // DefaultSoftLayerConfig mirrors the paper's SoftLayer online setup.
@@ -82,11 +101,62 @@ type Result struct {
 	// Err is the embedding error behind a rejection (nil for accepted
 	// requests).
 	Err error
+	// Lease identifies the accepted request's reservation in the session
+	// (0 when rejected); Leave it on the Solver to depart early.
+	Lease sof.LeaseID
+	// TTL is the lifetime drawn for this request (0 = stays for the run).
+	TTL int64
+	// Expired counts the leases whose TTL lapsed at the start of this
+	// step, before the arrival was embedded; Live is the number of leases
+	// still holding resources after the step.
+	Expired int
+	Live    int
 }
 
-// Simulator owns the network state: per-link and per-VM load trackers, the
-// request stream, and the Solver session all arrivals are embedded
-// through.
+// LifecycleStats aggregates the admission and departure counters of a run.
+type LifecycleStats struct {
+	// Arrivals counts completed steps; Accepted the requests that got a
+	// lease. Rejections are split by cause: capacity (the footprint did
+	// not fit), admission (the static or adaptive threshold), and Infeasible
+	// (no route existed, or the algorithm failed).
+	Arrivals         int
+	Accepted         int
+	CapacityRejects  int
+	AdmissionRejects int
+	Infeasible       int
+	// Departed counts leases released by TTL expiry during the run.
+	Departed int
+	// EmbedLatencies holds one wall-clock embedding duration per arrival,
+	// accepted or not.
+	EmbedLatencies []time.Duration
+}
+
+// AcceptRate returns the fraction of arrivals that were admitted
+// (1 before any arrivals: an idle run rejects nothing).
+func (st *LifecycleStats) AcceptRate() float64 {
+	if st.Arrivals == 0 {
+		return 1
+	}
+	return float64(st.Accepted) / float64(st.Arrivals)
+}
+
+// LatencyP99 returns the 99th-percentile embedding latency (0 without
+// arrivals).
+func (st *LifecycleStats) LatencyP99() time.Duration {
+	if len(st.EmbedLatencies) == 0 {
+		return 0
+	}
+	lat := append([]time.Duration(nil), st.EmbedLatencies...)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := (len(lat)*99 + 99) / 100
+	if idx > len(lat) {
+		idx = len(lat)
+	}
+	return lat[idx-1]
+}
+
+// Simulator owns the request stream and the capacitated Solver session all
+// arrivals are embedded through; the session owns the load ledger.
 type Simulator struct {
 	net    *topology.Network
 	cfg    Config
@@ -94,12 +164,9 @@ type Simulator struct {
 	solver *sof.Solver
 	rng    *rand.Rand
 
-	linkLoad *costmodel.Tracker
-	vmLoad   *costmodel.Tracker
-	vmIndex  map[graph.NodeID]int
-
 	accumulated float64
 	step        int
+	lifecycle   LifecycleStats
 
 	// Failure-injection state (see failures.go): the pending schedule,
 	// the recovery counters, and the scratch-comparison flag.
@@ -111,45 +178,60 @@ type Simulator struct {
 
 // NewSimulator builds a simulator over net. The network starts unloaded
 // (Section VIII-A: "the node/link usages are zero initially"). Extra
-// Solver options are appended to the simulator's own (algorithm and VM
-// restriction); SetFailureSchedule adds sof.WithRecovery itself, so plain
-// arrival-only runs track nothing.
+// Solver options are appended to the simulator's own (algorithm, VM
+// restriction, and the capacitated lifecycle session); SetFailureSchedule
+// adds sof.WithRecovery itself, so plain arrival-only runs track no
+// forests.
 func NewSimulator(net *topology.Network, algo Algorithm, cfg Config, opts ...sof.Option) *Simulator {
-	sopts := append([]sof.Option{
+	linkCap, vmCap := cfg.LinkCapacity, cfg.VMCapacity
+	if linkCap <= 0 {
+		linkCap = math.Inf(1)
+	}
+	if vmCap <= 0 {
+		vmCap = math.Inf(1)
+	}
+	sopts := []sof.Option{
 		sof.WithAlgorithm(sof.Algorithm(algo)),
 		sof.WithVMs(net.VMs...),
-	}, opts...)
+		sof.WithCapacity(linkCap, vmCap),
+		sof.WithDemand(cfg.Demand),
+	}
+	if cfg.AdmissionMu > 0 {
+		sopts = append(sopts, sof.WithAdaptiveAdmission(cfg.AdmissionMu, cfg.AdmissionBudget))
+	}
+	sopts = append(sopts, opts...)
 	s := &Simulator{
-		net:      net,
-		cfg:      cfg,
-		algo:     algo,
-		solver:   sof.NewSolver(sof.FromGraph(net.G), sopts...),
-		rng:      rand.New(rand.NewSource(cfg.Seed)),
-		linkLoad: costmodel.NewTracker(net.G.NumEdges(), cfg.LinkCapacity),
-		vmLoad:   costmodel.NewTracker(len(net.VMs), cfg.VMCapacity),
-		vmIndex:  make(map[graph.NodeID]int, len(net.VMs)),
+		net:    net,
+		cfg:    cfg,
+		algo:   algo,
+		solver: sof.NewSolver(sof.FromGraph(net.G), sopts...),
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
 	}
-	for i, v := range net.VMs {
-		s.vmIndex[v] = i
-	}
-	s.reprice()
+	s.solver.Reprice()
 	return s
 }
 
-// Solver exposes the session the simulator embeds through (cache counters
-// for tests and benchmarks).
+// Solver exposes the session the simulator embeds through (cache counters,
+// the lease table, and the load accessors for tests and benchmarks).
 func (s *Simulator) Solver() *sof.Solver { return s.solver }
 
-// reprice rewrites every edge and VM cost from its current load. Costs
-// that come out unchanged do not advance the network's epoch, so the
-// session cache survives re-pricing passes that were no-ops.
-func (s *Simulator) reprice() {
-	for e := 0; e < s.net.G.NumEdges(); e++ {
-		s.net.G.SetEdgeCost(graph.EdgeID(e), costmodel.MarginalCost(s.linkLoad.Load(e), s.cfg.Demand, s.cfg.LinkCapacity))
+// Lifecycle exposes the run's admission and departure counters.
+func (s *Simulator) Lifecycle() *LifecycleStats { return &s.lifecycle }
+
+// drawTTL samples a request lifetime from cfg.TTLRange (0 when the range
+// is unset: the service stays for the whole run).
+func (s *Simulator) drawTTL() int64 {
+	lo, hi := s.cfg.TTLRange[0], s.cfg.TTLRange[1]
+	if hi <= 0 {
+		return 0
 	}
-	for i, v := range s.net.VMs {
-		s.net.G.SetNodeCost(v, costmodel.MarginalCost(s.vmLoad.Load(i), 1, s.cfg.VMCapacity))
+	if lo < 1 {
+		lo = 1
 	}
+	if hi < lo {
+		hi = lo
+	}
+	return int64(lo + s.rng.Intn(hi-lo+1))
 }
 
 // Step generates and embeds the next request, updates loads and prices,
@@ -160,13 +242,20 @@ func (s *Simulator) Step() Result {
 }
 
 // StepCtx is Step with cancellation: once ctx is done the in-flight
-// embedding aborts and the step is not counted. A request that cannot be
+// embedding aborts and the step is not counted. Each step advances the
+// session's virtual clock by one (expiring lapsed TTLs), fires due failure
+// events, embeds one arrival, and re-prices. A request that cannot be
 // embedded for any other reason is reported as rejected (its cost does not
 // accumulate; the cause lands in Result.Err).
 func (s *Simulator) StepCtx(ctx context.Context) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	expired, err := s.solver.AdvanceTime(int64(s.step + 1))
+	if err != nil {
+		return Result{}, err
+	}
+	s.lifecycle.Departed += len(expired)
 	if err := s.fireFailures(ctx); err != nil {
 		return Result{}, err
 	}
@@ -182,56 +271,52 @@ func (s *Simulator) StepCtx(ctx context.Context) (Result, error) {
 		Sources:      s.net.RandomNodes(s.rng, nSrc),
 		Destinations: s.net.RandomNodes(s.rng, nDst),
 		ChainLength:  s.cfg.ChainLen,
+		TTL:          s.drawTTL(),
 	}
+	start := time.Now()
 	forest, err := s.solver.Embed(ctx, req)
+	embedTime := time.Since(start)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return Result{}, ctxErr
 		}
 		s.step++
-		return Result{Request: s.step, Rejected: true, Err: err, Accumulated: s.accumulated}, nil
+		s.lifecycle.Arrivals++
+		s.lifecycle.EmbedLatencies = append(s.lifecycle.EmbedLatencies, embedTime)
+		switch {
+		case errors.Is(err, sof.ErrCapacityExceeded):
+			s.lifecycle.CapacityRejects++
+		case errors.Is(err, sof.ErrAdmissionRejected):
+			s.lifecycle.AdmissionRejects++
+		default:
+			s.lifecycle.Infeasible++
+		}
+		return Result{
+			Request: s.step, Rejected: true, Err: err,
+			Accumulated: s.accumulated, TTL: req.TTL,
+			Expired: len(expired), Live: len(s.solver.Leases()),
+		}, nil
 	}
 	s.step++
+	s.lifecycle.Arrivals++
+	s.lifecycle.Accepted++
+	s.lifecycle.EmbedLatencies = append(s.lifecycle.EmbedLatencies, embedTime)
 	res := Result{
 		Request: s.step,
 		Cost:    forest.TotalCost(),
 		Trees:   forest.Trees(),
 		UsedVMs: len(forest.UsedVMs()),
+		TTL:     req.TTL,
+		Expired: len(expired),
 	}
-	s.apply(forest.Internal())
+	if id, ok := forest.Lease(); ok {
+		res.Lease = id
+	}
 	s.accumulated += res.Cost
 	res.Accumulated = s.accumulated
-	s.reprice()
+	res.Live = len(s.solver.Leases())
+	s.solver.Reprice()
 	return res, nil
-}
-
-// apply adds the forest's demand to the trackers: every clone's parent link
-// carries the stream once, every enabled VM hosts one VNF instance.
-func (s *Simulator) apply(f *core.Forest) {
-	for _, e := range forestEdges(f) {
-		s.linkLoad.Add(int(e), s.cfg.Demand)
-	}
-	for _, v := range f.UsedVMs() {
-		if i, ok := s.vmIndex[v]; ok {
-			s.vmLoad.Add(i, 1)
-		}
-	}
-}
-
-// forestEdges lists the edge instances used by the forest (with
-// multiplicity: a duplicated link carries the stream once per clone).
-func forestEdges(f *core.Forest) []graph.EdgeID {
-	var out []graph.EdgeID
-	for id := 0; id < f.NumClones(); id++ {
-		c := f.Clone(core.CloneID(id))
-		if f.CloneDeleted(core.CloneID(id)) {
-			continue
-		}
-		if c.Parent != core.NoClone && c.ParentEdge != graph.NoEdge {
-			out = append(out, c.ParentEdge)
-		}
-	}
-	return out
 }
 
 // Run executes n steps and returns their results; see RunCtx for the

@@ -1,0 +1,367 @@
+package sof
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// conservationError checks the lifecycle invariant: for every link and VM,
+// the tracker load equals the summed demand of the live leases' footprints,
+// and no load is negative. It returns the first violation (nil when the
+// books balance) so property tests can assert it holds after every step and
+// the negative-control test can assert it catches deliberate drift.
+func conservationError(s *Solver) error {
+	g := s.Network().Graph()
+	wantLink := make([]float64, g.NumEdges())
+	wantVM := make([]float64, g.NumNodes())
+	for _, l := range s.Leases() {
+		for _, e := range l.Edges {
+			wantLink[e] += l.Demand
+		}
+		for _, v := range l.VMs {
+			wantVM[v]++
+		}
+	}
+	for e := 0; e < g.NumEdges(); e++ {
+		got := s.LinkLoad(EdgeID(e))
+		if got < 0 {
+			return fmt.Errorf("link %d: negative load %v", e, got)
+		}
+		if math.Abs(got-wantLink[e]) > 1e-6 {
+			return fmt.Errorf("link %d: load %v, live leases sum to %v", e, got, wantLink[e])
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		got := s.VMLoad(NodeID(v))
+		if got < 0 {
+			return fmt.Errorf("vm %d: negative load %v", v, got)
+		}
+		if math.Abs(got-wantVM[v]) > 1e-6 {
+			return fmt.Errorf("vm %d: load %v, live leases sum to %v", v, got, wantVM[v])
+		}
+	}
+	return nil
+}
+
+// checkConservation fails the test on the first conservation violation.
+func checkConservation(t *testing.T, s *Solver) {
+	t.Helper()
+	if err := conservationError(s); err != nil {
+		t.Fatalf("load conservation violated: %v", err)
+	}
+}
+
+func TestCapacitatedLeaseLifecycle(t *testing.T) {
+	net, s, d := buildLine(t)
+	solver := NewSolver(net, WithCapacity(10, 3))
+	ctx := context.Background()
+	req := Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2}
+
+	f, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, ok := f.Lease()
+	if !ok || id == 0 {
+		t.Fatal("capacitated embed returned no lease")
+	}
+	if len(solver.Leases()) != 1 {
+		t.Fatalf("Leases() = %d entries, want 1", len(solver.Leases()))
+	}
+	// The line route s-v1-v2-d loads all three links and both VMs.
+	for e := 0; e < 3; e++ {
+		if solver.LinkLoad(EdgeID(e)) != 1 {
+			t.Fatalf("link %d load = %v, want 1", e, solver.LinkLoad(EdgeID(e)))
+		}
+	}
+	if solver.Accumulated() != 1 {
+		t.Fatalf("Accumulated = %v, want 1", solver.Accumulated())
+	}
+	checkConservation(t, solver)
+
+	if err := solver.Leave(id); err != nil {
+		t.Fatalf("Leave: %v", err)
+	}
+	for e := 0; e < 3; e++ {
+		if solver.LinkLoad(EdgeID(e)) != 0 {
+			t.Fatalf("link %d load = %v after Leave, want 0", e, solver.LinkLoad(EdgeID(e)))
+		}
+	}
+	if _, ok := f.Lease(); ok {
+		t.Fatal("forest still reports a lease after Leave")
+	}
+	if err := solver.Leave(id); !errors.Is(err, ErrUnknownLease) {
+		t.Fatalf("second Leave: err = %v, want ErrUnknownLease", err)
+	}
+	// Revenue is monotone: the departure did not refund it.
+	if solver.Accumulated() != 1 {
+		t.Fatalf("Accumulated = %v after Leave, want 1", solver.Accumulated())
+	}
+	checkConservation(t, solver)
+}
+
+func TestUncapacitatedSessionLifecycleErrors(t *testing.T) {
+	net, s, d := buildLine(t)
+	solver := NewSolver(net)
+	f, err := solver.Embed(context.Background(), Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Lease(); ok {
+		t.Fatal("uncapacitated embed has a lease")
+	}
+	if err := solver.Leave(1); !errors.Is(err, ErrNotCapacitated) {
+		t.Fatalf("Leave: err = %v, want ErrNotCapacitated", err)
+	}
+	if _, err := solver.AdvanceTime(1); !errors.Is(err, ErrNotCapacitated) {
+		t.Fatalf("AdvanceTime: err = %v, want ErrNotCapacitated", err)
+	}
+}
+
+// TestCapacityExceededTyped drives the authoritative reserve-time check: a
+// chain walk that backtracks crosses the v1-v2 link twice, so with
+// linkCap = 1.5 the solve succeeds (each single crossing fits, nothing is
+// masked) but the aggregated footprint does not — the embed must fail with
+// the typed ErrCapacityExceeded and leave no state behind.
+func TestCapacityExceededTyped(t *testing.T) {
+	b := NewNetworkBuilder()
+	s := b.AddSwitch("s")
+	v1 := b.AddVM("v1", 1)
+	v2 := b.AddVM("v2", 1)
+	d := b.AddSwitch("d")
+	b.Link(s, v1, 1)
+	b.Link(v1, v2, 1) // crossed twice: out to v2's VNF and back toward d
+	b.Link(v1, d, 1)
+	net, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver := NewSolver(net, WithCapacity(1.5, 4))
+	_, err = solver.Embed(context.Background(), Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2})
+	if !errors.Is(err, ErrCapacityExceeded) {
+		t.Fatalf("err = %v, want ErrCapacityExceeded", err)
+	}
+	if len(solver.Leases()) != 0 || solver.Accumulated() != 0 {
+		t.Fatal("rejected embed left lease state behind")
+	}
+	checkConservation(t, solver)
+}
+
+// TestSaturationMasksRoutes pins the enforcement path through the oracle's
+// cost view: saturating the cheap VM must push the next embed onto the
+// spare, and the spare's exhaustion must leave the request unembeddable.
+func TestSaturationMasksRoutes(t *testing.T) {
+	net, s, v1, v2, _, d2, _ := buildSurvivable(t)
+	solver := NewSolver(net, WithCapacity(100, 1)) // one forest per VM
+	ctx := context.Background()
+	req := Request{Sources: []NodeID{s}, Destinations: []NodeID{d2}, ChainLength: 1}
+
+	f1, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f1.UsedVMs(); len(got) != 1 || got[0] != v1 {
+		t.Fatalf("first embed used %v, want cheap VM %d", got, v1)
+	}
+	if !net.Graph().NodeMasked(v1) {
+		t.Fatal("saturated VM not masked")
+	}
+
+	f2, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f2.UsedVMs(); len(got) != 1 || got[0] != v2 {
+		t.Fatalf("second embed used %v, want spare VM %d", got, v2)
+	}
+
+	// Both VMs full: the network is exhausted for this request.
+	if _, err := solver.Embed(ctx, req); err == nil {
+		t.Fatal("third embed succeeded on an exhausted network")
+	}
+
+	// A departure re-opens the cheap VM.
+	id1, _ := f1.Lease()
+	if err := solver.Leave(id1); err != nil {
+		t.Fatal(err)
+	}
+	if net.Graph().NodeMasked(v1) {
+		t.Fatal("VM still masked after its only tenant left")
+	}
+	f3, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatalf("embed after departure: %v", err)
+	}
+	if got := f3.UsedVMs(); len(got) != 1 || got[0] != v1 {
+		t.Fatalf("post-departure embed used %v, want re-opened VM %d", got, v1)
+	}
+	checkConservation(t, solver)
+}
+
+func TestTTLExpiryAdvanceTime(t *testing.T) {
+	net, s, d := buildLine(t)
+	solver := NewSolver(net, WithCapacity(10, 5))
+	ctx := context.Background()
+
+	mk := func(ttl int64) *Forest {
+		t.Helper()
+		f, err := solver.Embed(ctx, Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2, TTL: ttl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	fShort := mk(2)
+	fLong := mk(5)
+	fForever := mk(0) // no TTL: never expires on its own
+	checkConservation(t, solver)
+
+	expired, err := solver.AdvanceTime(1)
+	if err != nil || len(expired) != 0 {
+		t.Fatalf("AdvanceTime(1): %v, %v", expired, err)
+	}
+	expired, err = solver.AdvanceTime(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idShort, _ := fShort.Lease()
+	if idShort != 0 || len(expired) != 1 {
+		t.Fatalf("short lease not expired at t=2: expired=%v", expired)
+	}
+	checkConservation(t, solver)
+
+	// The clock is monotone: moving backwards expires nothing more.
+	if expired, _ := solver.AdvanceTime(1); len(expired) != 0 {
+		t.Fatal("time moved backwards")
+	}
+	if solver.Now() != 2 {
+		t.Fatalf("Now = %d, want 2", solver.Now())
+	}
+
+	expired, _ = solver.AdvanceTime(100)
+	if len(expired) != 1 {
+		t.Fatalf("expired at t=100: %v, want just the long lease", expired)
+	}
+	if _, ok := fLong.Lease(); ok {
+		t.Fatal("long lease still live at t=100")
+	}
+	if _, ok := fForever.Lease(); !ok {
+		t.Fatal("TTL-less lease expired")
+	}
+	checkConservation(t, solver)
+}
+
+func TestAdaptiveAdmission(t *testing.T) {
+	net, s, d := buildLine(t)
+	solver := NewSolver(net,
+		WithCapacity(10, 10),
+		WithAdaptiveAdmission(16, 0.01))
+	ctx := context.Background()
+	req := Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2}
+
+	// Empty network: every resource prices at 16^0 - 1 = 0, admitted.
+	f1, err := solver.Embed(ctx, req)
+	if err != nil {
+		t.Fatalf("embed on empty network: %v", err)
+	}
+	// Utilization 0.1 prices each link at 16^0.1 - 1 ≈ 0.32 > budget.
+	if _, err := solver.Embed(ctx, req); !errors.Is(err, ErrAdmissionRejected) {
+		t.Fatalf("err = %v, want ErrAdmissionRejected at nonzero utilization", err)
+	}
+	// The departure empties the network: admitted again — the threshold
+	// adapts to load where a constant would keep rejecting.
+	id, _ := f1.Lease()
+	if err := solver.Leave(id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := solver.Embed(ctx, req); err != nil {
+		t.Fatalf("embed after departure: %v", err)
+	}
+	checkConservation(t, solver)
+}
+
+// TestMidRepairDepartureReleasesOnce is the failure×departure interaction
+// guard: a forest departing while its lease is suspended for repair must
+// release its load exactly once — the suspension already took it off the
+// trackers, Leave must not subtract it again, and the deferred resume must
+// not re-apply a dead lease.
+func TestMidRepairDepartureReleasesOnce(t *testing.T) {
+	net, s, _, _, d1, d2, cheap := buildSurvivable(t)
+	solver := NewSolver(net, WithCapacity(100, 10), WithRecovery())
+	ctx := context.Background()
+	f, err := solver.Embed(ctx, Request{Sources: []NodeID{s}, Destinations: []NodeID{d1, d2}, ChainLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, _ := f.Lease()
+	solver.FailLink(cheap[1])
+
+	// Deterministic interleaving of what RepairAll does around a concurrent
+	// Leave: suspend (repair begins) → Leave (service departs mid-repair) →
+	// resume (repair ends).
+	suspended, err := solver.suspendLease(f)
+	if !suspended || err != nil {
+		t.Fatalf("suspendLease = %v, %v", suspended, err)
+	}
+	if err := solver.Leave(id); err != nil {
+		t.Fatalf("Leave mid-repair: %v", err)
+	}
+	solver.resumeLease(f) // must be a no-op on the ended lease
+
+	g := net.Graph()
+	for e := 0; e < g.NumEdges(); e++ {
+		if load := solver.LinkLoad(EdgeID(e)); load != 0 {
+			t.Fatalf("link %d load = %v after mid-repair departure, want 0", e, load)
+		}
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if load := solver.VMLoad(NodeID(v)); load != 0 {
+			t.Fatalf("vm %d load = %v after mid-repair departure, want 0", v, load)
+		}
+	}
+	if len(solver.Leases()) != 0 {
+		t.Fatal("lease survived mid-repair departure")
+	}
+	checkConservation(t, solver)
+
+	// A second suspend/resume cycle on the departed forest stays a no-op.
+	if suspended, _ := solver.suspendLease(f); suspended {
+		t.Fatal("suspend succeeded on an ended lease")
+	}
+}
+
+// TestRepairResumesLease runs a real RepairAll on a capacitated session:
+// the repaired forest's lease must resume over the post-repair shape, and
+// conservation must hold for the detoured footprint.
+func TestRepairResumesLease(t *testing.T) {
+	net, s, _, _, d1, d2, cheap := buildSurvivable(t)
+	solver := NewSolver(net, WithCapacity(100, 10), WithRecovery())
+	ctx := context.Background()
+	f, err := solver.Embed(ctx, Request{Sources: []NodeID{s}, Destinations: []NodeID{d1, d2}, ChainLength: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver.FailLink(cheap[1])
+	if _, err := solver.RepairAll(ctx); err != nil {
+		t.Fatalf("RepairAll: %v", err)
+	}
+	if _, ok := f.Lease(); !ok {
+		t.Fatal("lease lost across repair")
+	}
+	checkConservation(t, solver)
+
+	id, _ := f.Lease()
+	if err := solver.Leave(id); err != nil {
+		t.Fatalf("Leave after repair: %v", err)
+	}
+	g := net.Graph()
+	for e := 0; e < g.NumEdges(); e++ {
+		if load := solver.LinkLoad(EdgeID(e)); load != 0 {
+			t.Fatalf("link %d load = %v after departure, want 0", e, load)
+		}
+	}
+	checkConservation(t, solver)
+}

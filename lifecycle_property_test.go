@@ -1,0 +1,246 @@
+package sof
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sof/internal/topology"
+)
+
+// lifecycleHarness drives a capacitated recovery session with a seeded
+// random schedule of embeds, departures, clock advances, failures,
+// restores, and repair sweeps — the full lifecycle interleaving space the
+// conservation invariant must survive.
+type lifecycleHarness struct {
+	t        *testing.T
+	rng      *rand.Rand
+	net      *topology.Network
+	solver   *Solver
+	clock    int64
+	lastAcc  float64
+	accepted int
+}
+
+func newLifecycleHarness(t *testing.T, seed int64) *lifecycleHarness {
+	t.Helper()
+	net := topology.SoftLayer(topology.Config{NumVMs: 8, Seed: seed})
+	solver := NewSolver(FromGraph(net.G),
+		WithCapacity(6, 3),
+		WithRecovery(),
+		WithParallelism(1))
+	return &lifecycleHarness{
+		t:      t,
+		rng:    rand.New(rand.NewSource(seed)),
+		net:    net,
+		solver: solver,
+	}
+}
+
+// step applies one random lifecycle operation and returns its label.
+func (h *lifecycleHarness) step(ctx context.Context) string {
+	g := h.net.G
+	switch op := h.rng.Intn(10); {
+	case op < 4: // embed, possibly with TTL
+		k := 1 + h.rng.Intn(2)
+		nodes := h.net.RandomNodes(h.rng, k+1+h.rng.Intn(2))
+		req := Request{
+			Sources:      nodes[:1],
+			Destinations: nodes[1:],
+			ChainLength:  1 + h.rng.Intn(2),
+			TTL:          int64(h.rng.Intn(8)), // 0 = stays until Leave
+		}
+		if _, err := h.solver.Embed(ctx, req); err == nil {
+			h.accepted++
+		}
+		return "embed"
+	case op < 6: // depart a random live lease
+		if leases := h.solver.Leases(); len(leases) > 0 {
+			id := leases[h.rng.Intn(len(leases))].ID
+			if err := h.solver.Leave(id); err != nil {
+				h.t.Fatalf("Leave(%d): %v", id, err)
+			}
+		}
+		return "leave"
+	case op < 7: // advance the virtual clock (expiring TTLs)
+		h.clock += int64(1 + h.rng.Intn(3))
+		if _, err := h.solver.AdvanceTime(h.clock); err != nil {
+			h.t.Fatalf("AdvanceTime(%d): %v", h.clock, err)
+		}
+		return "advance"
+	case op < 8: // fail a random element
+		if h.rng.Intn(2) == 0 {
+			h.solver.FailLink(EdgeID(h.rng.Intn(g.NumEdges())))
+		} else {
+			h.solver.FailVM(h.net.VMs[h.rng.Intn(len(h.net.VMs))])
+		}
+		return "fail"
+	case op < 9: // restore everything failed so far
+		h.solver.RestoreAllFailures()
+		return "restore"
+	default: // repair sweep
+		if _, err := h.solver.RepairAll(ctx); err != nil && !errors.Is(err, ErrUnrecoverable) {
+			h.t.Fatalf("RepairAll: %v", err)
+		}
+		return "repair"
+	}
+}
+
+// verify asserts the invariants that must hold after every step.
+func (h *lifecycleHarness) verify(label string) {
+	h.t.Helper()
+	if err := conservationError(h.solver); err != nil {
+		h.t.Fatalf("after %s: %v", label, err)
+	}
+	if acc := h.solver.Accumulated(); acc < h.lastAcc {
+		h.t.Fatalf("after %s: Accumulated went backwards (%v -> %v)", label, h.lastAcc, acc)
+	} else {
+		h.lastAcc = acc
+	}
+}
+
+// TestLoadConservationProperty is the PR's anchor property: after ANY
+// interleaving of accepted embeds, departures, TTL expiries, failures, and
+// repairs, every tracker's load equals the sum of the live leases'
+// demands. Seeded schedules keep failures reproducible; run it under
+// -race together with TestConcurrentLifecycleRace for the concurrent
+// interleavings.
+func TestLoadConservationProperty(t *testing.T) {
+	seeds := []int64{1, 2, 3, 5, 8, 13}
+	steps := 120
+	if testing.Short() {
+		seeds = seeds[:2]
+		steps = 60
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			h := newLifecycleHarness(t, seed)
+			ctx := context.Background()
+			for i := 0; i < steps; i++ {
+				label := h.step(ctx)
+				h.verify(label)
+			}
+			if h.accepted == 0 {
+				t.Fatal("schedule accepted no embeds; the property was vacuous")
+			}
+			// Drain: depart everything, expire everything — the books must
+			// return to exactly zero.
+			for _, l := range h.solver.Leases() {
+				if err := h.solver.Leave(l.ID); err != nil {
+					t.Fatalf("drain Leave(%d): %v", l.ID, err)
+				}
+			}
+			if _, err := h.solver.AdvanceTime(h.clock + 1000); err != nil {
+				t.Fatal(err)
+			}
+			h.verify("drain")
+			g := h.net.G
+			for e := 0; e < g.NumEdges(); e++ {
+				if load := h.solver.LinkLoad(EdgeID(e)); load != 0 {
+					t.Fatalf("link %d: residual load %v after full drain", e, load)
+				}
+			}
+			for v := 0; v < g.NumNodes(); v++ {
+				if load := h.solver.VMLoad(NodeID(v)); load != 0 {
+					t.Fatalf("vm %d: residual load %v after full drain", v, load)
+				}
+			}
+		})
+	}
+}
+
+// TestConservationCheckerDetectsDrift is the mutation check on the
+// property: corrupting the link tracker the way a silently-clamping Remove
+// would (load left behind that no live lease explains) must trip the
+// checker. If this test fails, TestLoadConservationProperty is decorative.
+func TestConservationCheckerDetectsDrift(t *testing.T) {
+	net, s, d := buildLine(t)
+	solver := NewSolver(net, WithCapacity(10, 5))
+	if _, err := solver.Embed(context.Background(), Request{Sources: []NodeID{s}, Destinations: []NodeID{d}, ChainLength: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := conservationError(solver); err != nil {
+		t.Fatalf("clean session reported drift: %v", err)
+	}
+	// Simulate a Remove that under-released: phantom load on link 0.
+	solver.capacity.links.Add(0, 0.5)
+	if err := conservationError(solver); err == nil {
+		t.Fatal("checker missed injected tracker drift")
+	}
+	solver.capacity.links.SetLoad(0, solver.capacity.links.Load(0)-0.5)
+	if err := conservationError(solver); err != nil {
+		t.Fatalf("drift repair not detected as clean: %v", err)
+	}
+}
+
+// TestConcurrentLifecycleRace interleaves embeds, departures, and clock
+// advances from concurrent goroutines with a failure/repair sweeper (one
+// sweeper — RepairAll's documented contract is one sweep at a time; embeds
+// and departures may race it freely, which is exactly the mid-repair
+// departure path). Run under -race; after quiescence the conservation
+// invariant must hold and a full drain must zero the books.
+func TestConcurrentLifecycleRace(t *testing.T) {
+	net := topology.SoftLayer(topology.Config{NumVMs: 8, Seed: 99})
+	solver := NewSolver(FromGraph(net.G), WithCapacity(8, 4), WithRecovery())
+	ctx := context.Background()
+
+	const perWorker = 25
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWorker; i++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					nodes := graphSample(rng, net, 3)
+					_, _ = solver.Embed(ctx, Request{
+						Sources:      nodes[:1],
+						Destinations: nodes[1:],
+						ChainLength:  1,
+						TTL:          int64(rng.Intn(5)),
+					})
+				case 2:
+					if leases := solver.Leases(); len(leases) > 0 {
+						_ = solver.Leave(leases[rng.Intn(len(leases))].ID)
+					}
+				default:
+					_, _ = solver.AdvanceTime(solver.Now() + 1)
+				}
+			}
+		}(int64(w + 1))
+	}
+	// The single sweeper: fail, repair, restore, repeat.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < perWorker; i++ {
+			solver.FailLink(EdgeID(rng.Intn(net.G.NumEdges())))
+			_, _ = solver.RepairAll(ctx)
+			solver.RestoreAllFailures()
+		}
+	}()
+	wg.Wait()
+
+	checkConservation(t, solver)
+	for _, l := range solver.Leases() {
+		if err := solver.Leave(l.ID); err != nil {
+			t.Fatalf("drain Leave(%d): %v", l.ID, err)
+		}
+	}
+	for e := 0; e < net.G.NumEdges(); e++ {
+		if load := solver.LinkLoad(EdgeID(e)); load != 0 {
+			t.Fatalf("link %d: residual load %v after drain", e, load)
+		}
+	}
+}
+
+// graphSample draws distinct access nodes via the topology helper.
+func graphSample(rng *rand.Rand, net *topology.Network, n int) []NodeID {
+	return net.RandomNodes(rng, n)
+}

@@ -74,6 +74,12 @@ type Request struct {
 	Sources      []NodeID
 	Destinations []NodeID
 	ChainLength  int
+	// TTL is the service's lifetime in virtual time units on a capacitated
+	// session: the lease expires TTL units after the session clock at accept
+	// time and AdvanceTime releases its resources. 0 (or any non-positive
+	// value) means the service stays until an explicit Leave. Ignored by
+	// sessions built without WithCapacity.
+	TTL int64
 }
 
 // NetworkBuilder assembles a Network.
@@ -204,6 +210,9 @@ type Forest struct {
 	// owner is the session that embedded the forest; recovery sweeps and
 	// Release go through it.
 	owner *Solver
+	// lease is the forest's resource reservation on a capacitated session
+	// (0 = none); see Lease.
+	lease LeaseID
 }
 
 // candidateVMs returns the VM set dynamic operations may draw from.

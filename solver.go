@@ -46,6 +46,10 @@ type Solver struct {
 	fmu           sync.Mutex
 	forests       map[*Forest]int64
 	fseq          int64
+
+	// capacity is the load ledger of a capacitated lifecycle session (see
+	// lease.go); nil on sessions built without WithCapacity.
+	capacity *capacityState
 }
 
 // ErrAdmissionRejected is the typed error carried by Result.Err (or
@@ -150,13 +154,17 @@ func (s *Solver) Embed(ctx context.Context, req Request) (*Forest, error) {
 // still runs inside the session — the shortest-path cache is shared, so
 // comparing algorithms on one network pays the Dijkstra work once.
 func (s *Solver) EmbedAlgorithm(ctx context.Context, req Request, algo Algorithm) (*Forest, error) {
-	return s.embed(ctx, req, algo, s.parallelism)
+	return s.embed(ctx, req, algo, s.parallelism, true)
 }
 
 // embed runs one embedding with an explicit candidate-generation width
 // (innerPar): the batch/stream fan-outs pass 1 so their request-level
 // concurrency is the only pool, single embeds pass the session width.
-func (s *Solver) embed(ctx context.Context, req Request, algo Algorithm, innerPar int) (*Forest, error) {
+// newLease gates the capacitated session's reservation: user-facing embeds
+// pass true; the repair re-embed tier passes false, because the damaged
+// forest already holds a (suspended) lease that resumes over the repaired
+// shape — reserving again would double-charge the trackers.
+func (s *Solver) embed(ctx context.Context, req Request, algo Algorithm, innerPar int, newLease bool) (*Forest, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -208,6 +216,13 @@ func (s *Solver) embed(ctx context.Context, req Request, algo Algorithm, innerPa
 		oracle: s.oracle,
 		vms:    s.vms,
 		owner:  s,
+	}
+	if s.capacity != nil && newLease {
+		// Adaptive admission, capacity reservation, lease creation — all or
+		// nothing; a rejected request leaves the session untouched.
+		if err := s.admitAndLease(out, req); err != nil {
+			return nil, err
+		}
 	}
 	if s.recovery {
 		s.register(out)
@@ -271,7 +286,7 @@ func (s *Solver) EmbedBatch(ctx context.Context, reqs []Request) ([]Result, erro
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				f, err := s.embed(ctx, reqs[i], s.algo, innerPar)
+				f, err := s.embed(ctx, reqs[i], s.algo, innerPar, true)
 				results[i] = Result{Index: i, Forest: f, Err: err}
 			}
 		}()
@@ -332,7 +347,7 @@ func (s *Solver) EmbedStream(ctx context.Context, reqs <-chan Request) <-chan Re
 		go func() {
 			defer wg.Done()
 			for j := range jobs {
-				f, err := s.embed(ctx, j.req, s.algo, innerPar)
+				f, err := s.embed(ctx, j.req, s.algo, innerPar, true)
 				out <- Result{Index: j.idx, Forest: f, Err: err}
 			}
 		}()

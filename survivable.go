@@ -261,6 +261,16 @@ func (s *Solver) repairForest(ctx context.Context, f *Forest) (*ForestRecovery, 
 		return nil, nil
 	}
 	before := f.TotalCost() // damage is non-structural: this is the pre-failure cost
+	// On a capacitated session, take the forest's lease off the books while
+	// its shape is in flux: the repair's route searches then price the
+	// network without this forest's own footprint pinning saturation masks.
+	// The deferred resume re-applies whatever shape the repair produced —
+	// and is a no-op if the service departed mid-repair (exactly-once).
+	if suspended, err := s.suspendLease(f); err != nil {
+		return nil, fmt.Errorf("sof: suspending lease for repair: %w", err)
+	} else if suspended {
+		defer s.resumeLease(f)
+	}
 	fr := &ForestRecovery{Forest: f}
 	rep, err := f.f.Repair(f.oracle, f.candidateVMs(), &core.RepairOptions{Budget: s.repairBudget})
 	if err != nil {
@@ -304,11 +314,14 @@ func (s *Solver) repairForest(ctx context.Context, f *Forest) (*ForestRecovery, 
 	if len(wantBack) > 0 {
 		dests := append(f.f.Destinations(), wantBack...)
 		sort.Slice(dests, func(i, j int) bool { return dests[i] < dests[j] })
+		// newLease=false: the forest's own (suspended) lease resumes over
+		// whatever shape comes back; a fresh reservation here would
+		// double-charge the trackers.
 		nf, err := s.embed(ctx, Request{
 			Sources:      f.req.Sources,
 			Destinations: dests,
 			ChainLength:  f.req.ChainLen,
-		}, s.algo, s.parallelism)
+		}, s.algo, s.parallelism, false)
 		if err != nil {
 			for _, d := range wantBack {
 				fr.Failed = append(fr.Failed, DestFailure{
