@@ -42,6 +42,8 @@ func main() {
 		distrib     = flag.Bool("dist", false, "distributed SOFDA comparison (Section VI)")
 		failures    = flag.Bool("failures", false, "failure recovery under live load (survivable forests)")
 		lifecycle   = flag.Bool("lifecycle", false, "capacitated arrival/departure run: acceptance, departures, adaptive admission")
+		lcNodes     = flag.Int("nodes", 0, "with -lifecycle: run the scaled soak on an Inet graph of this many nodes instead of SoftLayer/Cogent (0 = classic kinds)")
+		lcRequests  = flag.Int("requests", 0, "with -lifecycle: arrivals per setting (0 = derive from -steps)")
 		failEvents  = flag.Int("fail-events", 60, "failures injected per -failures run")
 		stream      = flag.Bool("stream", false, "with -dist: compare server-streamed fragment joins against batch joins (with -domain-addrs: use the streamed exchange)")
 		transport   = flag.String("transport", "inproc", "distributed transport: inproc (channel) or rpc (net/rpc over loopback)")
@@ -169,8 +171,19 @@ func main() {
 			kinds = kinds[:1]
 			n = 4 * *steps
 		}
+		inetNodes := 0
+		if *lcNodes > 0 {
+			// The scaled soak: one Inet graph of -nodes nodes, -requests
+			// arrivals per setting — the CLI form of BenchmarkLifecycle/scaled
+			// (e.g. -lifecycle -nodes 10000 -requests 100000).
+			kinds = []exp.NetKind{exp.NetInet}
+			inetNodes = *lcNodes
+		}
+		if *lcRequests > 0 {
+			n = *lcRequests
+		}
 		for _, kind := range kinds {
-			rows, err := exp.LifecycleTable(kind, n, 0)
+			rows, err := exp.LifecycleTable(kind, n, inetNodes)
 			if err != nil {
 				log.Fatalf("lifecycle (%s): %v", kind, err)
 			}

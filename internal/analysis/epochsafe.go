@@ -68,15 +68,23 @@ var EpochSafe = &Analyzer{
 
 func runEpochSafe(pass *Pass) error {
 	path := pass.Pkg.Path()
-	if path == graphPkgPath || path == "graph" || strings.HasSuffix(path, "/graph") {
-		return nil
-	}
+	inGraph := path == graphPkgPath || path == "graph" || strings.HasSuffix(path, "/graph")
 	for _, f := range pass.Files {
-		checkCostWrites(pass, f)
+		if !inGraph {
+			checkCostWrites(pass, f)
+		}
 		for _, d := range f.Decls {
-			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if !inGraph {
 				checkEpochReuse(pass, fd)
 			}
+			// The lock-staleness rule runs everywhere, the graph package
+			// included: its own epoch-keyed memos (the delta-stepping
+			// light/heavy partition) are under the same discipline.
+			checkEpochLockStaleness(pass, fd)
 		}
 	}
 	return nil
@@ -210,4 +218,109 @@ func checkEpochReuse(pass *Pass, fd *ast.FuncDecl) {
 func isMethodNamed(call *ast.CallExpr, name string) bool {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	return ok && sel.Sel.Name == name && len(call.Args) == 0
+}
+
+// checkEpochLockStaleness flags an epoch value captured before a mutex
+// acquisition and used after it without a re-read. The window between the
+// capture and the Lock admits a concurrent cost mutation; publishing
+// state stamped with the pre-lock epoch then serves the new costs under
+// the old epoch's name. The delta-stepping partition memo is the
+// canonical shape: deltaLayoutFor re-reads g.epoch.Load() under deltaMu
+// before building, and every epoch-keyed cache filled under a lock must
+// do the same. A capture feeding only the fast-path check before the
+// lock is fine; it is the *reuse after the Lock* that is flagged. Like
+// checkEpochReuse, lexical order approximates control flow; a deliberate
+// pre-lock epoch takes a //sofvet:ignore pragma.
+func checkEpochLockStaleness(pass *Pass, fd *ast.FuncDecl) {
+	type capture struct {
+		obj types.Object
+		pos token.Pos
+	}
+	var captures []capture
+	var locks []token.Pos
+	captureLHS := make(map[token.Pos]bool)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || !isEpochRead(pass, call) {
+					continue
+				}
+				if i < len(n.Lhs) {
+					if id, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := objectOf(pass.TypesInfo, id); obj != nil {
+							captures = append(captures, capture{obj: obj, pos: n.Pos()})
+							captureLHS[id.Pos()] = true
+						}
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isMutexLock(pass, n) {
+				locks = append(locks, n.Pos())
+			}
+		}
+		return true
+	})
+	if len(captures) == 0 || len(locks) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil || captureLHS[id.Pos()] {
+			return true
+		}
+		var last token.Pos = token.NoPos
+		for _, c := range captures {
+			if c.obj == obj && c.pos < id.Pos() && c.pos > last {
+				last = c.pos
+			}
+		}
+		if last == token.NoPos {
+			return true
+		}
+		for _, l := range locks {
+			if last < l && l < id.Pos() {
+				pass.Reportf(id.Pos(),
+					"epoch %q captured before a mutex Lock is used after it; a mutation can land while waiting for the lock — re-read the epoch under the lock before keying cached state on it",
+					id.Name)
+				return true
+			}
+		}
+		return true
+	})
+}
+
+// isEpochRead matches the two epoch-read shapes: the public CostEpoch()
+// accessor and the graph package's own g.epoch.Load().
+func isEpochRead(pass *Pass, call *ast.CallExpr) bool {
+	if isMethodNamed(call, "CostEpoch") {
+		return true
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Load" || len(call.Args) != 0 {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	return ok && inner.Sel.Name == "epoch"
+}
+
+// isMutexLock matches Lock/RLock calls on sync.Mutex / sync.RWMutex
+// receivers (fields included).
+func isMutexLock(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") || len(call.Args) != 0 {
+		return false
+	}
+	t := pass.TypesInfo.Types[sel.X].Type
+	if t == nil {
+		return false
+	}
+	return isNamedType(t, "sync", "Mutex") || isNamedType(t, "sync", "RWMutex")
 }

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -54,9 +55,33 @@ func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
 	info := pass.TypesInfo
 	var gets []poolGet
 	deferredPuts := make(map[string]bool) // pool expr -> has deferred Put
+	plainWorkerPuts := make(map[string]token.Pos)
 
 	inspectShallow(body, func(n ast.Node) bool {
 		switch n := n.(type) {
+		case *ast.GoStmt:
+			// Worker-pool scratch: scratch handed to a spawned worker is
+			// balanced only by a Put *deferred inside that worker* — a
+			// plain Put in the goroutine body drops the scratch when the
+			// worker panics, exactly like the single-function case.
+			if fl, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				ast.Inspect(fl.Body, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.DeferStmt:
+						if pool, ok := poolMethodCall(info, m.Call, "Put"); ok {
+							deferredPuts[pool] = true
+						}
+						return false
+					case *ast.CallExpr:
+						if pool, ok := poolMethodCall(info, m, "Put"); ok {
+							if _, seen := plainWorkerPuts[pool]; !seen {
+								plainWorkerPuts[pool] = m.Pos()
+							}
+						}
+					}
+					return true
+				})
+			}
 		case *ast.DeferStmt:
 			// defer pool.Put(x), or defer func() { ...; pool.Put(x); ... }()
 			if pool, ok := poolMethodCall(info, n.Call, "Put"); ok {
@@ -98,6 +123,12 @@ func checkPoolFunc(pass *Pass, body *ast.BlockStmt) {
 
 	for _, g := range gets {
 		if deferredPuts[g.pool] {
+			continue
+		}
+		if pos, ok := plainWorkerPuts[g.pool]; ok {
+			pass.Reportf(pos,
+				"%s.Put in a spawned worker is not deferred: a panic in the worker drops the scratch from the pool; use `defer %s.Put(...)` inside the goroutine",
+				g.pool, g.pool)
 			continue
 		}
 		if g.obj != nil && escapes(pass, body, g.obj) {

@@ -1,9 +1,15 @@
 // Package epochsafe is the fixture for the epochsafe pass: direct cost
-// writes and stale epoch reuse are flagged; the sanctioned setters and
-// re-read epochs are not.
+// writes, stale epoch reuse, and epoch values carried across a mutex
+// acquisition are flagged; the sanctioned setters and re-read epochs are
+// not.
 package epochsafe
 
-import "sof/internal/graph"
+import (
+	"sync"
+	"sync/atomic"
+
+	"sof/internal/graph"
+)
 
 func directNodeWrite(g *graph.Graph) {
 	n := g.Node(0)
@@ -103,4 +109,60 @@ func epochRereadAfterFailureIsFine(g *graph.Graph) uint64 {
 	g.FailNode(2)
 	epoch = g.CostEpoch()
 	return epoch
+}
+
+// layoutMemo mirrors the epoch-keyed, mutex-rebuilt cache shape the
+// lock-staleness rule exists for (the delta-stepping partition memo).
+type layoutMemo struct {
+	mu    sync.Mutex
+	rw    sync.RWMutex
+	epoch atomic.Uint64
+	built uint64
+}
+
+func staleEpochAcrossLock(m *layoutMemo, g *graph.Graph) {
+	epoch := g.CostEpoch()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.built = epoch // want "captured before a mutex Lock is used after it"
+}
+
+func staleEpochAcrossRLock(m *layoutMemo, g *graph.Graph) bool {
+	epoch := g.CostEpoch()
+	m.rw.RLock()
+	defer m.rw.RUnlock()
+	return m.built == epoch // want "captured before a mutex Lock is used after it"
+}
+
+// staleLoadAcrossLock covers the graph package's own idiom: the epoch is
+// an atomic field read with .Load(), not the public accessor.
+func staleLoadAcrossLock(m *layoutMemo) {
+	epoch := m.epoch.Load()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.built = epoch // want "captured before a mutex Lock is used after it"
+}
+
+// rereadUnderLockIsFine is the sanctioned shape, deltaLayoutFor's: the
+// pre-lock read serves the fast path; the build re-reads under the lock.
+func rereadUnderLockIsFine(m *layoutMemo) {
+	epoch := m.epoch.Load()
+	if m.built == epoch {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	epoch = m.epoch.Load()
+	m.built = epoch
+}
+
+// fastPathOnlyIsFine uses the captured epoch strictly before the lock.
+func fastPathOnlyIsFine(m *layoutMemo) {
+	epoch := m.epoch.Load()
+	if m.built == epoch {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.built = 0
 }

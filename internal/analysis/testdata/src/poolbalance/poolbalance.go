@@ -66,3 +66,49 @@ func twoPools() int {
 	b := other.Get().(*arena) // want "other.Get.. without a deferred other.Put"
 	return len(a.buf) + len(b.buf)
 }
+
+// workerDeferredPut is the sanctioned worker-pool shape: scratch fetched
+// in the dispatcher, released by a Put deferred inside the worker that
+// consumed it.
+func workerDeferredPut(n int, wg *sync.WaitGroup) {
+	for k := 0; k < n; k++ {
+		a := pool.Get().(*arena)
+		wg.Add(1)
+		go func(a *arena) {
+			defer wg.Done()
+			defer pool.Put(a)
+			a.buf = a.buf[:0]
+		}(a)
+	}
+	wg.Wait()
+}
+
+// workerPlainPut drops the scratch when the worker panics between its
+// work and the trailing Put.
+func workerPlainPut(n int, wg *sync.WaitGroup) {
+	for k := 0; k < n; k++ {
+		a := pool.Get().(*arena)
+		wg.Add(1)
+		go func(a *arena) {
+			defer wg.Done()
+			a.buf = a.buf[:0]
+			pool.Put(a) // want "Put in a spawned worker is not deferred"
+		}(a)
+	}
+	wg.Wait()
+}
+
+// workerOwnGet: a worker that fetches its own scratch is audited as its
+// own function — the deferred Put inside its body balances it.
+func workerOwnGet(n int, wg *sync.WaitGroup) {
+	for k := 0; k < n; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := pool.Get().(*arena)
+			defer pool.Put(a)
+			a.buf = a.buf[:0]
+		}()
+	}
+	wg.Wait()
+}

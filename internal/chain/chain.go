@@ -252,12 +252,16 @@ func NewOracle(g *graph.Graph, opts Options) *Oracle {
 func (o *Oracle) Graph() *graph.Graph { return o.g }
 
 func (o *Oracle) tree(n graph.NodeID) *graph.ShortestPaths {
-	epoch := o.g.CostEpoch()
 	o.mu.RLock()
+	epoch := o.g.CostEpoch()
 	e, ok := o.trees[n]
 	o.mu.RUnlock()
 	if !ok || e.epoch != epoch {
 		o.mu.Lock()
+		// Re-read under the lock: a mutation that landed while waiting
+		// must not publish an entry stamped with the epoch observed
+		// before it (the costs Dijkstra reads are the post-mutation ones).
+		epoch = o.g.CostEpoch()
 		if e, ok = o.trees[n]; !ok || e.epoch != epoch {
 			e = &treeEntry{epoch: epoch}
 			o.trees[n] = e
@@ -304,7 +308,6 @@ func (o *Oracle) Tree(n graph.NodeID) *graph.ShortestPaths { return o.tree(n) }
 // are left unfulfilled, and the next demand lookup computes them through
 // the usual singleflight path.
 func (o *Oracle) WarmTrees(ctx context.Context, origins []graph.NodeID) int {
-	epoch := o.g.CostEpoch()
 	type slot struct {
 		n graph.NodeID
 		e *treeEntry
@@ -312,6 +315,10 @@ func (o *Oracle) WarmTrees(ctx context.Context, origins []graph.NodeID) int {
 	var pending []slot
 	seen := make(map[graph.NodeID]bool, len(origins))
 	o.mu.Lock()
+	// The epoch is read under the lock: entries published here must be
+	// stamped with the epoch the batched Dijkstra passes actually see,
+	// not one observed before a concurrent mutation.
+	epoch := o.g.CostEpoch()
 	for _, n := range origins {
 		if seen[n] {
 			continue
@@ -406,9 +413,11 @@ func (o *Oracle) InvalidateCache() {
 // invalidate lazily, exactly like the tree cache. Callers receive a
 // private copy, so mutating the result never corrupts the cache.
 func (o *Oracle) Chain(vms []graph.NodeID, s, u graph.NodeID, chainLen int) (*ServiceChain, error) {
-	epoch := o.g.CostEpoch()
 	key := chainKey{src: s, last: u, chainLen: chainLen, vmsHash: hashNodes(vms)}
 	o.chainMu.Lock()
+	// Read under the lock: a mutation landing while waiting must not let
+	// this call publish an entry into the pre-mutation epoch's memo.
+	epoch := o.g.CostEpoch()
 	if o.chainCache == nil || o.chainEpoch != epoch {
 		o.chainCache = make(map[chainKey]*chainEntry)
 		o.chainEpoch = epoch

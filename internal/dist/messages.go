@@ -184,9 +184,11 @@ type digestMemo struct {
 }
 
 func (m *digestMemo) of(g *graph.Graph) uint64 {
-	epoch := g.CostEpoch()
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Read under the lock: a re-pricing that landed while waiting must
+	// not stamp the freshly hashed digest with the pre-mutation epoch.
+	epoch := g.CostEpoch()
 	if !m.valid || m.epoch != epoch {
 		m.digest = GraphDigest(g)
 		m.epoch = epoch

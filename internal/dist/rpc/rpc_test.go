@@ -64,19 +64,32 @@ func startDomains(t testing.TB, n int, build func(i int) *topology.Network) []st
 // the one-shot batch call, the server-streamed fragment join (with
 // dominated-candidate pruning armed), and the streamed join with eager
 // per-source closure — all of which must agree bit for bit. The whole
-// matrix additionally runs with the bucket-queue SSSP core forced on
-// (graph.BucketQueueMinNodes pinned to 1), the fourth toggle of the
-// equivalence claim: the calendar queue's settle order matches the
-// indexed heap's exactly, so no cost moves.
+// matrix additionally runs with the bucket-queue and then the
+// delta-stepping SSSP core forced on through the deprecated global gates
+// (graph.BucketQueueMinNodes / graph.DeltaSteppingMinNodes pinned to 1 —
+// exercising the shim that remains for exactly this kind of
+// process-wide toggle), the fourth and fifth toggles of the equivalence
+// claim: both alternative queues' settle orders match the indexed
+// heap's exactly, so no cost moves.
 func TestRPCEquivalenceMatrix(t *testing.T) {
-	savedMin := graph.BucketQueueMinNodes
-	t.Cleanup(func() { graph.BucketQueueMinNodes = savedMin })
+	savedBucket := graph.BucketQueueMinNodes
+	savedDelta := graph.DeltaSteppingMinNodes
+	t.Cleanup(func() {
+		graph.BucketQueueMinNodes = savedBucket
+		graph.DeltaSteppingMinNodes = savedDelta
+	})
 	centralBySeed := make(map[int64]float64)
-	for _, bucketSSSP := range []bool{false, true} {
-		if bucketSSSP {
+	for _, queue := range []string{"heap", "bucket", "delta"} {
+		switch queue {
+		case "heap":
+			graph.BucketQueueMinNodes = savedBucket
+			graph.DeltaSteppingMinNodes = savedDelta
+		case "bucket":
 			graph.BucketQueueMinNodes = 1
-		} else {
-			graph.BucketQueueMinNodes = savedMin
+			graph.DeltaSteppingMinNodes = -1
+		case "delta":
+			graph.BucketQueueMinNodes = savedBucket
+			graph.DeltaSteppingMinNodes = 1
 		}
 		for _, seed := range []int64{1, 7, 23, 42} {
 			network, req, opts := softLayerInstance(seed)
@@ -85,8 +98,8 @@ func TestRPCEquivalenceMatrix(t *testing.T) {
 				t.Fatalf("seed %d: centralized: %v", seed, err)
 			}
 			if prev, ok := centralBySeed[seed]; ok && prev != central.TotalCost() {
-				t.Errorf("seed %d: centralized cost moved across SSSP queues: heap %v, bucket %v",
-					seed, prev, central.TotalCost())
+				t.Errorf("seed %d: centralized cost moved across SSSP queues (%s): %v vs %v",
+					seed, queue, prev, central.TotalCost())
 			}
 			centralBySeed[seed] = central.TotalCost()
 			for _, domains := range []int{1, 3, 5} {
@@ -108,14 +121,14 @@ func TestRPCEquivalenceMatrix(t *testing.T) {
 					if err != nil {
 						cluster.Close()
 						tr.Close()
-						t.Fatalf("seed %d domains %d %s bucketSSSP=%v: rpc distributed: %v", seed, domains, mode.name, bucketSSSP, err)
+						t.Fatalf("seed %d domains %d %s queue=%s: rpc distributed: %v", seed, domains, mode.name, queue, err)
 					}
 					if err := f.Validate(req.Sources, req.Dests); err != nil {
-						t.Errorf("seed %d domains %d %s bucketSSSP=%v: infeasible forest: %v", seed, domains, mode.name, bucketSSSP, err)
+						t.Errorf("seed %d domains %d %s queue=%s: infeasible forest: %v", seed, domains, mode.name, queue, err)
 					}
 					if f.TotalCost() != central.TotalCost() {
-						t.Errorf("seed %d domains %d %s bucketSSSP=%v: rpc cost %v != centralized %v",
-							seed, domains, mode.name, bucketSSSP, f.TotalCost(), central.TotalCost())
+						t.Errorf("seed %d domains %d %s queue=%s: rpc cost %v != centralized %v",
+							seed, domains, mode.name, queue, f.TotalCost(), central.TotalCost())
 					}
 					st := cluster.StreamStats()
 					if mode.name != "batch" && st.StreamedResults == 0 {

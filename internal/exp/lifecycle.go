@@ -36,7 +36,10 @@ type LifecycleRow struct {
 	// admitted request); Cost the accumulated embedding cost.
 	Revenue float64
 	Cost    float64
-	P99     time.Duration
+	// MeanDijkstras is the amortized shortest-path tree builds per arrival
+	// — the warm-cache effect the scaled soak exists to demonstrate.
+	MeanDijkstras float64
+	P99           time.Duration
 }
 
 // lifecycleNet builds the row's network: identical for every row so the
@@ -50,7 +53,17 @@ func lifecycleNet(kind NetKind, inetNodes int) (*topology.Network, int, error) {
 		net, err := buildNet(kind, 200, 1, 1, 0)
 		return net, 0, err
 	case NetInet:
-		net, err := buildNet(kind, inetNodes/5, 1, 1, inetNodes)
+		// Candidate generation scales with the VM pool per arrival — every
+		// request sweeps an (source, last VM) chain per candidate — so the
+		// scaled soak bounds it at 30: a 10k-node run then measures
+		// per-arrival SSSP and cache behavior, not a 2000-VM candidate
+		// sweep no deployment would configure. 30 matches the committed
+		// BenchmarkLifecycle/scaled scenario.
+		vms := inetNodes / 5
+		if vms > 30 {
+			vms = 30
+		}
+		net, err := buildNet(kind, vms, 1, 1, inetNodes)
 		return net, inetNodes, err
 	default:
 		return nil, 0, fmt.Errorf("exp: LifecycleTable does not support %q", kind)
@@ -76,6 +89,24 @@ func lifecycleBase(kind NetKind) online.Config {
 	cfg.SrcRange = [2]int{2, 4}
 	cfg.DstRange = [2]int{3, 6}
 	cfg.ChainLen = 2
+	if kind == NetInet {
+		// The scaled-soak regime, matching the committed
+		// BenchmarkLifecycle/scaled scenario: single-source requests (the
+		// SOFDA-SS embeds run on the real network through the session
+		// oracle, with no per-request auxiliary clone), endpoints from a
+		// bounded 64-node access pool so trees and chains actually
+		// re-occur, capacity headroom that keeps saturation masks from
+		// invalidating the epoch-keyed caches every few arrivals, and the
+		// Fortz–Thorup repricing pass batched every 512 accepts — a full
+		// pass after every accept would cold every arrival's shortest-path
+		// state.
+		cfg.LinkCapacity = 1000
+		cfg.VMCapacity = 100
+		cfg.SrcRange = [2]int{1, 1}
+		cfg.DstRange = [2]int{3, 6}
+		cfg.RepriceEvery = 512
+		cfg.AccessPool = 64
+	}
 	return cfg
 }
 
@@ -104,7 +135,13 @@ func LifecycleTable(kind NetKind, steps, inetNodes int) ([]LifecycleRow, error) 
 		}
 		cfg := lifecycleBase(kind)
 		set.mut(&cfg)
-		sim := online.NewSimulator(net, online.AlgoSOFDA, cfg)
+		algo := online.AlgoSOFDA
+		if kind == NetInet {
+			// The scaled soak embeds single-source requests through
+			// SOFDA-SS; see lifecycleBase.
+			algo = online.AlgoSOFDASS
+		}
+		sim := online.NewSimulator(net, algo, cfg)
 		sim.Run(steps)
 		st := sim.Lifecycle()
 		out = append(out, LifecycleRow{
@@ -119,6 +156,7 @@ func LifecycleTable(kind NetKind, steps, inetNodes int) ([]LifecycleRow, error) 
 			Live:             len(sim.Solver().Leases()),
 			Revenue:          sim.Solver().Accumulated(),
 			Cost:             sim.Accumulated(),
+			MeanDijkstras:    st.MeanDijkstras(),
 			P99:              st.LatencyP99(),
 		})
 	}
@@ -129,12 +167,12 @@ func LifecycleTable(kind NetKind, steps, inetNodes int) ([]LifecycleRow, error) 
 func FormatLifecycleTable(kind NetKind, rows []LifecycleRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Capacitated lifecycle embedding (%s)\n", kind)
-	b.WriteString("setting       arrivals  accepted  rate   cap-rej  adm-rej  infeas  departed  live  revenue  acc-cost   p99-embed\n")
+	b.WriteString("setting       arrivals  accepted  rate   cap-rej  adm-rej  infeas  departed  live  revenue  acc-cost   dijk/arr  p99-embed\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-12s  %-8d  %-8d  %-5.2f  %-7d  %-7d  %-6d  %-8d  %-4d  %-7.0f  %-9.1f  %s\n",
+		fmt.Fprintf(&b, "%-12s  %-8d  %-8d  %-5.2f  %-7d  %-7d  %-6d  %-8d  %-4d  %-7.0f  %-9.1f  %-8.2f  %s\n",
 			r.Label, r.Arrivals, r.Accepted, r.AcceptRate, r.CapacityRejects,
 			r.AdmissionRejects, r.Infeasible, r.Departed, r.Live, r.Revenue,
-			r.Cost, r.P99.Round(time.Microsecond))
+			r.Cost, r.MeanDijkstras, r.P99.Round(time.Microsecond))
 	}
 	return b.String()
 }

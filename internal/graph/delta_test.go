@@ -1,0 +1,291 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// deltaArena pins the delta-stepping variant on, regardless of graph
+// size, on a private arena — the race-free replacement for mutating the
+// deprecated package gates.
+func deltaArena() *Arena {
+	return NewArenaWith(Config{DeltaSteppingMinNodes: 1, BucketQueueMinNodes: -1})
+}
+
+// TestDeltaSteppingBitIdentical is the core equivalence claim: on random
+// multigraphs (parallel edges, zero-cost links), the delta-stepping tree
+// — distances, parents, AND parent edges — must be bit-for-bit the
+// indexed-heap tree from every source. Distances alone would allow a
+// different (equally short) tree; downstream cost-equality guarantees
+// need the same tree.
+func TestDeltaSteppingBitIdentical(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		g := randomMultigraph(seed)
+		arena := deltaArena()
+		for v := 0; v < g.NumNodes(); v++ {
+			want := Dijkstra(g, NodeID(v)) // heap path: graph far below gates
+			got := arena.Dijkstra(g, NodeID(v))
+			for u := 0; u < g.NumNodes(); u++ {
+				if got.Dist[u] != want.Dist[u] || got.Parent[u] != want.Parent[u] || got.ParentEdge[u] != want.ParentEdge[u] {
+					t.Fatalf("seed %d src %d node %d: delta (%v,%d,%d) != heap (%v,%d,%d)",
+						seed, v, u, got.Dist[u], got.Parent[u], got.ParentEdge[u],
+						want.Dist[u], want.Parent[u], want.ParentEdge[u])
+				}
+			}
+			verifyTree(t, g, got)
+		}
+	}
+}
+
+// TestDeltaSteppingForcedMatchesHeap pins the exported forcing entry
+// point (used by benchmarks) to the heap tree as well.
+func TestDeltaSteppingForcedMatchesHeap(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomMultigraph(seed)
+		want := Dijkstra(g, 0)
+		got := DeltaStepping(g, 0)
+		for u := 0; u < g.NumNodes(); u++ {
+			if got.Dist[u] != want.Dist[u] || got.Parent[u] != want.Parent[u] || got.ParentEdge[u] != want.ParentEdge[u] {
+				t.Fatalf("seed %d node %d: DeltaStepping differs from heap", seed, u)
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingBatch drives the variant through DijkstraBatch (the
+// path the chain oracle's tree warming takes) with duplicate sources.
+func TestDeltaSteppingBatch(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := randomMultigraph(seed)
+		rng := rand.New(rand.NewSource(seed ^ 0x3c3c))
+		sources := make([]NodeID, 0, 6)
+		for i := 0; i < 5; i++ {
+			sources = append(sources, NodeID(rng.Intn(g.NumNodes())))
+		}
+		sources = append(sources, sources[0]) // duplicate on purpose
+		batch := DijkstraBatch(g, sources, deltaArena())
+		if batch[len(batch)-1] != batch[0] {
+			t.Fatalf("seed %d: duplicate source not aliased", seed)
+		}
+		for i, s := range sources {
+			want := Dijkstra(g, s)
+			got := batch[i]
+			for u := 0; u < g.NumNodes(); u++ {
+				if got.Dist[u] != want.Dist[u] || got.Parent[u] != want.Parent[u] || got.ParentEdge[u] != want.ParentEdge[u] {
+					t.Fatalf("seed %d source %d node %d: batch delta differs from heap", seed, s, u)
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingBlockedElements covers the Blocked() consistency
+// claim: failed and capacity-masked edges and nodes (both mark layers at
+// once) must be invisible to the delta-stepping relaxation exactly as
+// they are to the heap's, including a blocked source yielding an
+// all-unreachable tree. The arc partition drops blocked arcs at build
+// time, so this also pins the epoch-keyed invalidation: every
+// fail/mask/restore transition must yield a fresh partition.
+func TestDeltaSteppingBlockedElements(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	arena := deltaArena()
+	for trial := 0; trial < 25; trial++ {
+		g := RandomConnected(RandomConfig{Nodes: 40, ExtraEdges: 60, MaxEdge: 5}, int64(trial))
+		for i := 0; i < 5; i++ {
+			g.FailEdge(EdgeID(rng.Intn(g.NumEdges())))
+		}
+		for i := 0; i < 3; i++ {
+			g.MaskEdge(EdgeID(rng.Intn(g.NumEdges())))
+		}
+		g.FailNode(NodeID(rng.Intn(g.NumNodes())))
+		g.MaskNode(NodeID(rng.Intn(g.NumNodes())))
+		for trial2 := 0; trial2 < 3; trial2++ {
+			src := NodeID(rng.Intn(g.NumNodes()))
+			want := Dijkstra(g, src)
+			got := arena.Dijkstra(g, src)
+			for u := 0; u < g.NumNodes(); u++ {
+				if got.Dist[u] != want.Dist[u] || got.Parent[u] != want.Parent[u] || got.ParentEdge[u] != want.ParentEdge[u] {
+					t.Fatalf("trial %d src %d node %d: delta (%v,%d,%d) != heap (%v,%d,%d) under blocks",
+						trial, src, u, got.Dist[u], got.Parent[u], got.ParentEdge[u],
+						want.Dist[u], want.Parent[u], want.ParentEdge[u])
+				}
+			}
+		}
+		// Flip some state back and re-check: the partition must not serve
+		// the pre-transition epoch.
+		g.RestoreAll()
+		g.UnmaskAll()
+		src := NodeID(rng.Intn(g.NumNodes()))
+		want := Dijkstra(g, src)
+		got := arena.Dijkstra(g, src)
+		for u := 0; u < g.NumNodes(); u++ {
+			if got.Dist[u] != want.Dist[u] {
+				t.Fatalf("trial %d: stale partition after restore: Dist[%d] = %v, want %v",
+					trial, u, got.Dist[u], want.Dist[u])
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingBlockedSource: a failed or masked source reaches
+// nothing, not even itself — same contract as the heap variant.
+func TestDeltaSteppingBlockedSource(t *testing.T) {
+	g := RandomConnected(RandomConfig{Nodes: 20, ExtraEdges: 20, MaxEdge: 5}, 3)
+	arena := deltaArena()
+	g.FailNode(4)
+	sp := arena.Dijkstra(g, 4)
+	for v := range sp.Dist {
+		if !math.IsInf(sp.Dist[v], 1) || sp.Parent[v] != None {
+			t.Fatalf("failed source: node %d reachable", v)
+		}
+	}
+	g.RestoreNode(4)
+	g.MaskNode(4)
+	sp = arena.Dijkstra(g, 4)
+	for v := range sp.Dist {
+		if !math.IsInf(sp.Dist[v], 1) {
+			t.Fatalf("masked source: node %d reachable", v)
+		}
+	}
+}
+
+// TestDeltaSteppingZeroCostFallback: an all-zero-cost graph has no
+// usable bucket width; the gate must fall back to the heap instead of
+// dividing by zero, and results must stay correct — for the gated path
+// and the forcing entry point alike.
+func TestDeltaSteppingZeroCostFallback(t *testing.T) {
+	g := New(5, 6)
+	for i := 0; i < 5; i++ {
+		g.AddSwitch("")
+	}
+	for i := 1; i < 5; i++ {
+		g.MustAddEdge(NodeID(i-1), NodeID(i), 0)
+	}
+	for _, sp := range []*ShortestPaths{
+		deltaArena().Dijkstra(g, 2),
+		DeltaStepping(g, 2),
+	} {
+		for v := 0; v < 5; v++ {
+			if sp.Dist[v] != 0 {
+				t.Fatalf("Dist[%d] = %v, want 0", v, sp.Dist[v])
+			}
+		}
+	}
+}
+
+// TestDeltaSteppingArenaReuseAcrossGraphs drives one arena through
+// graphs of different sizes and widths (so the calendar, dedup stamps,
+// and partition all change between runs), catching stale scratch leaking
+// across runs — the reuse pattern of pooled arenas and batch callers.
+func TestDeltaSteppingArenaReuseAcrossGraphs(t *testing.T) {
+	arena := deltaArena()
+	for round := 0; round < 3; round++ {
+		for _, seed := range []int64{3, 11, 5, 23, 2, 31, 4} {
+			g := randomMultigraph(seed)
+			got := arena.Dijkstra(g, 0)
+			want := BellmanFord(g, 0)
+			for v := 0; v < g.NumNodes(); v++ {
+				if got.Dist[v] != want.Dist[v] {
+					t.Fatalf("round %d seed %d: Dist[%d] = %v, want %v",
+						round, seed, v, got.Dist[v], want.Dist[v])
+				}
+			}
+			verifyTree(t, g, got)
+		}
+	}
+}
+
+// TestDeltaSteppingWorkersBitIdentical forces the worker fan-out on
+// (threshold lowered so even small frontiers dispatch) across several
+// worker counts and demands the heap tree bit-for-bit: worker count and
+// chunk boundaries must never perturb results. Not parallel: it adjusts
+// the package-private dispatch threshold.
+func TestDeltaSteppingWorkersBitIdentical(t *testing.T) {
+	oldMin := deltaParallelMin
+	deltaParallelMin = 1
+	defer func() { deltaParallelMin = oldMin }()
+	g := RandomConnected(RandomConfig{Nodes: 600, ExtraEdges: 1800, VMFraction: 0.2, MaxEdge: 10, MaxSetup: 5}, 9)
+	want := Dijkstra(g, 0)
+	for _, workers := range []int{1, 2, 3, 8} {
+		arena := NewArenaWith(Config{
+			DeltaSteppingMinNodes: 1,
+			BucketQueueMinNodes:   -1,
+			DeltaSteppingWorkers:  workers,
+		})
+		got := arena.Dijkstra(g, 0)
+		for u := 0; u < g.NumNodes(); u++ {
+			if got.Dist[u] != want.Dist[u] || got.Parent[u] != want.Parent[u] || got.ParentEdge[u] != want.ParentEdge[u] {
+				t.Fatalf("workers=%d node %d: delta (%v,%d,%d) != heap (%v,%d,%d)",
+					workers, u, got.Dist[u], got.Parent[u], got.ParentEdge[u],
+					want.Dist[u], want.Parent[u], want.ParentEdge[u])
+			}
+		}
+	}
+}
+
+// TestDeltaLayoutEpochInvalidation pins the partition memo key: a cost
+// change must yield a fresh partition (arc moves between light and
+// heavy), and an unchanged-epoch re-fetch must serve the same one.
+func TestDeltaLayoutEpochInvalidation(t *testing.T) {
+	g := New(3, 2)
+	g.AddSwitch("")
+	g.AddSwitch("")
+	g.AddSwitch("")
+	e0 := g.MustAddEdge(0, 1, 1)
+	g.MustAddEdge(1, 2, 100)
+	lay := g.deltaLayoutFor()
+	if again := g.deltaLayoutFor(); again != lay {
+		t.Fatal("same-epoch re-fetch rebuilt the partition")
+	}
+	if lay.lrow[1]-lay.lrow[0] != 1 || lay.hrow[1]-lay.hrow[0] != 0 {
+		t.Fatalf("cheap arc not light: lrow=%v hrow=%v", lay.lrow[:2], lay.hrow[:2])
+	}
+	// Raising the cheap edge past the width must move it to heavy in the
+	// rebuilt partition.
+	g.SetEdgeCost(e0, 1000)
+	lay2 := g.deltaLayoutFor()
+	if lay2 == lay {
+		t.Fatal("cost change did not invalidate the partition")
+	}
+	if lay2.hrow[1]-lay2.hrow[0] != 1 {
+		t.Fatalf("re-priced arc not heavy: hrow=%v", lay2.hrow[:2])
+	}
+}
+
+// TestConfigGateResolution pins the per-arena gate semantics: zero
+// defers to the package defaults, positive overrides, negative disables
+// — exercised through pick, the single decision point every entry path
+// shares.
+func TestConfigGateResolution(t *testing.T) {
+	g := randomMultigraph(5) // 8–48 nodes, positive finite costs
+	n := g.NumNodes()
+	cases := []struct {
+		name string
+		cfg  Config
+		want ssspVariant
+	}{
+		{"defaults-small-graph", Config{}, variantHeap},
+		{"delta-forced", Config{DeltaSteppingMinNodes: 1}, variantDelta},
+		{"bucket-forced", Config{BucketQueueMinNodes: 1, DeltaSteppingMinNodes: -1}, variantBucket},
+		{"delta-wins-past-both", Config{DeltaSteppingMinNodes: 1, BucketQueueMinNodes: 1}, variantDelta},
+		{"both-disabled", Config{DeltaSteppingMinNodes: -1, BucketQueueMinNodes: -1}, variantHeap},
+		{"threshold-above-n", Config{DeltaSteppingMinNodes: n + 1, BucketQueueMinNodes: n + 1}, variantHeap},
+	}
+	for _, tc := range cases {
+		a := NewArenaWith(tc.cfg)
+		if got, _, _ := a.pick(g, n); got != tc.want {
+			t.Errorf("%s: pick = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+	// Worker resolution: 0 = GOMAXPROCS (≥1), negative = serial.
+	if w := (Config{DeltaSteppingWorkers: -1}).deltaWorkers(); w != 1 {
+		t.Errorf("negative workers resolve to %d, want 1", w)
+	}
+	if w := (Config{DeltaSteppingWorkers: 7}).deltaWorkers(); w != 7 {
+		t.Errorf("explicit workers resolve to %d, want 7", w)
+	}
+	if w := (Config{}).deltaWorkers(); w < 1 {
+		t.Errorf("default workers resolve to %d, want ≥1", w)
+	}
+}

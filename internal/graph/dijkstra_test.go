@@ -256,13 +256,11 @@ func TestIndexedHeap(t *testing.T) {
 	}
 }
 
-// forceBucketQueue pins the bucket-queue SSSP variant on for the duration
-// of a test, regardless of graph size.
-func forceBucketQueue(t *testing.T) {
-	t.Helper()
-	old := BucketQueueMinNodes
-	BucketQueueMinNodes = 1
-	t.Cleanup(func() { BucketQueueMinNodes = old })
+// bucketArena returns an arena pinned to the bucket-queue SSSP variant
+// regardless of graph size — the per-arena form of the deprecated
+// BucketQueueMinNodes global.
+func bucketArena() *Arena {
+	return NewArenaWith(Config{BucketQueueMinNodes: 1, DeltaSteppingMinNodes: -1})
 }
 
 // TestDijkstraBatchMatchesSingle pins the batched arena path against
@@ -316,10 +314,7 @@ func TestBucketQueueDijkstraBitIdentical(t *testing.T) {
 			want[v] = Dijkstra(g, NodeID(v)) // heap path: graph far below threshold
 		}
 		func() {
-			old := BucketQueueMinNodes
-			BucketQueueMinNodes = 1
-			defer func() { BucketQueueMinNodes = old }()
-			arena := NewArena()
+			arena := bucketArena()
 			for v := 0; v < g.NumNodes(); v++ {
 				got := DijkstraBatch(g, []NodeID{NodeID(v)}, arena)[0]
 				for u := 0; u < g.NumNodes(); u++ {
@@ -338,7 +333,6 @@ func TestBucketQueueDijkstraBitIdentical(t *testing.T) {
 // bucket width; the size gate must fall back to the heap instead of
 // dividing by zero, and the result must stay correct.
 func TestBucketQueueZeroCostFallback(t *testing.T) {
-	forceBucketQueue(t)
 	g := New(5, 6)
 	for i := 0; i < 5; i++ {
 		g.AddSwitch("")
@@ -346,7 +340,7 @@ func TestBucketQueueZeroCostFallback(t *testing.T) {
 	for i := 1; i < 5; i++ {
 		g.MustAddEdge(NodeID(i-1), NodeID(i), 0)
 	}
-	sp := DijkstraBatch(g, []NodeID{2}, nil)[0]
+	sp := DijkstraBatch(g, []NodeID{2}, bucketArena())[0]
 	for v := 0; v < 5; v++ {
 		if sp.Dist[v] != 0 {
 			t.Fatalf("Dist[%d] = %v, want 0", v, sp.Dist[v])
@@ -358,8 +352,7 @@ func TestBucketQueueZeroCostFallback(t *testing.T) {
 // different sizes and widths (so the calendar reconfigures between runs),
 // catching stale bucket or cursor state leaking across runs.
 func TestBucketQueueArenaReuseAcrossGraphs(t *testing.T) {
-	forceBucketQueue(t)
-	arena := NewArena()
+	arena := bucketArena()
 	for round := 0; round < 3; round++ {
 		for _, seed := range []int64{3, 11, 5, 23, 2, 31, 4} {
 			g := randomMultigraph(seed)

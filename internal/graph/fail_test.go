@@ -134,17 +134,19 @@ func TestFailCloneShares(t *testing.T) {
 	}
 }
 
-// TestFailDijkstraMatchesBellmanFord cross-checks the two SSSP cores under
-// random failure patterns, with both queue variants.
+// TestFailDijkstraMatchesBellmanFord cross-checks the SSSP cores under
+// random failure patterns, with all three queue variants forced through
+// per-arena configs.
 func TestFailDijkstraMatchesBellmanFord(t *testing.T) {
-	oldMin := BucketQueueMinNodes
-	defer func() { BucketQueueMinNodes = oldMin }()
-	for _, bucket := range []bool{false, true} {
-		if bucket {
-			BucketQueueMinNodes = 1
-		} else {
-			BucketQueueMinNodes = oldMin
-		}
+	variants := []struct {
+		name string
+		cfg  Config
+	}{
+		{"heap", Config{BucketQueueMinNodes: -1, DeltaSteppingMinNodes: -1}},
+		{"bucket", Config{BucketQueueMinNodes: 1, DeltaSteppingMinNodes: -1}},
+		{"delta", Config{DeltaSteppingMinNodes: 1}},
+	}
+	for _, variant := range variants {
 		rng := rand.New(rand.NewSource(7))
 		for trial := 0; trial < 20; trial++ {
 			g := RandomConnected(RandomConfig{Nodes: 30, ExtraEdges: 40, MaxEdge: 5}, int64(trial))
@@ -156,10 +158,10 @@ func TestFailDijkstraMatchesBellmanFord(t *testing.T) {
 			}
 			src := NodeID(rng.Intn(g.NumNodes()))
 			want := BellmanFord(g, src)
-			got := Dijkstra(g, src)
+			got := DijkstraBatch(g, []NodeID{src}, NewArenaWith(variant.cfg))[0]
 			for v := range want.Dist {
 				if want.Dist[v] != got.Dist[v] && !(math.IsInf(want.Dist[v], 1) && math.IsInf(got.Dist[v], 1)) {
-					t.Fatalf("bucket=%v trial %d: dist[%d] = %v, want %v", bucket, trial, v, got.Dist[v], want.Dist[v])
+					t.Fatalf("%s trial %d: dist[%d] = %v, want %v", variant.name, trial, v, got.Dist[v], want.Dist[v])
 				}
 			}
 		}

@@ -102,6 +102,10 @@ type Graph struct {
 	// rescanning the edge table each time would tax exactly the large
 	// graphs the queue exists for.
 	maxCostCache atomic.Pointer[maxCostEntry]
+	// deltaCache memoizes the delta-stepping light/heavy arc partition per
+	// cost epoch (see delta.go); deltaMu serializes rebuilds.
+	deltaCache atomic.Pointer[deltaLayout]
+	deltaMu    sync.Mutex
 	// block holds the copy-on-write failed- and capacity-masked-element
 	// snapshots plus their precomputed union (see fail.go); nil snapshots
 	// mean the graph is fully open, which is the steady state the

@@ -253,7 +253,7 @@ func mstOfSubgraph(g *graph.Graph, nodes []graph.NodeID, candidates []graph.Edge
 		}
 		return candidates[i] < candidates[j]
 	})
-	uf := graph.NewUnionFind(g.NumNodes())
+	uf := graph.NewSparseUnionFind()
 	tree := &Tree{Nodes: nodes}
 	for _, id := range candidates {
 		e := g.Edge(id)
@@ -355,7 +355,7 @@ func Verify(g *graph.Graph, tree *Tree, terminals []graph.NodeID) error {
 	if len(tree.Edges) != len(tree.Nodes)-1 {
 		return fmt.Errorf("steiner: %d edges for %d nodes (not a tree)", len(tree.Edges), len(tree.Nodes))
 	}
-	uf := graph.NewUnionFind(g.NumNodes())
+	uf := graph.NewSparseUnionFind()
 	var cost float64
 	for _, id := range tree.Edges {
 		e := g.Edge(id)
